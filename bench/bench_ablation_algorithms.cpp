@@ -1,0 +1,167 @@
+// Ablations of the algorithmic design choices the paper's §2 describes.
+//
+//   * ECL-GC's shortcuts 1/2 (vs. strict Jones-Plassmann): fewer coloring
+//     rounds and cycles, same proper coloring;
+//   * ECL-CC's init heuristic (first smaller neighbor vs. own id): the
+//     paper claims it "leads to less work in the next phase" — measured
+//     here as CAS hook attempts and total cycles;
+//   * ECL-MST's filter step (defer heavy edges vs. process all): fewer
+//     edges competing per round on dense graphs.
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/gc/ecl_gc.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "algos/mst/ecl_mst.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/suite.hpp"
+#include "graph/transforms.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv, "Ablations: the design choices inside the ECL codes");
+
+  {
+    Table t("ECL-GC shortcuts vs. strict Jones-Plassmann");
+    t.set_header({"Graph", "JP rounds", "ECL rounds", "JP colors",
+                  "ECL colors", "shortcut speedup"});
+    for (const char* name : {"citationCiteseer", "coPapersDBLP", "internet",
+                             "rmat16.sym", "kron_g500-logn21"}) {
+      const auto g = gen::find_input(name).make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      algos::gc::Options strict;
+      strict.use_shortcuts = false;
+      const auto jp = algos::gc::run(d1, g, strict);
+      const auto ecl = algos::gc::run(d2, g);
+      ECLP_CHECK(algos::gc::verify(g, jp.colors));
+      ECLP_CHECK(algos::gc::verify(g, ecl.colors));
+      t.add_row({name, std::to_string(jp.host_iterations),
+                 std::to_string(ecl.host_iterations),
+                 std::to_string(jp.num_colors),
+                 std::to_string(ecl.num_colors),
+                 fmt::fixed(static_cast<double>(jp.modeled_cycles) /
+                                static_cast<double>(ecl.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "ablation_gc_shortcuts", t);
+  }
+
+  {
+    Table t("ECL-CC init heuristic vs. own-id init");
+    t.set_header({"Graph", "own-id hooks", "heuristic hooks", "hook savings",
+                  "heuristic speedup"});
+    for (const char* name : {"2d-2e20.sym", "europe_osm", "as-skitter",
+                             "r4-2e23.sym", "soc-LiveJournal1"}) {
+      const auto g = gen::find_input(name).make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      algos::cc::Options naive;
+      naive.init_mode = algos::cc::InitMode::kOwnId;
+      const auto own = algos::cc::run(d1, g, naive);
+      const auto ecl = algos::cc::run(d2, g);
+      ECLP_CHECK(algos::cc::verify(g, own.labels));
+      ECLP_CHECK(algos::cc::verify(g, ecl.labels));
+      t.add_row(
+          {name, fmt::grouped(own.profile.hook_attempts),
+           fmt::grouped(ecl.profile.hook_attempts),
+           fmt::signed_pct(
+               100.0 * (1.0 - static_cast<double>(ecl.profile.hook_attempts) /
+                                  static_cast<double>(
+                                      own.profile.hook_attempts)),
+               1) +
+               "%",
+           fmt::fixed(static_cast<double>(own.modeled_cycles) /
+                          static_cast<double>(ecl.modeled_cycles),
+                      2)});
+    }
+    harness::emit(ctx, "ablation_cc_init", t);
+  }
+
+  {
+    Table t("ECL-MST filter step on/off");
+    t.set_header({"Graph", "no-filter cycles", "filter cycles",
+                  "filter speedup"});
+    for (const char* name : {"coPapersDBLP", "kron_g500-logn21",
+                             "soc-LiveJournal1", "europe_osm",
+                             "USA-road-d.NY"}) {
+      const auto g = graph::with_random_weights(
+          gen::find_input(name).make(ctx.scale), 42);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      algos::mst::Options off;
+      off.filter_percentile = 0.0;
+      const auto no_filter = algos::mst::run(d1, g, off);
+      const auto filtered = algos::mst::run(d2, g);
+      ECLP_CHECK(no_filter.total_weight == filtered.total_weight);
+      t.add_row({name, fmt::grouped(no_filter.modeled_cycles),
+                 fmt::grouped(filtered.modeled_cycles),
+                 fmt::fixed(static_cast<double>(no_filter.modeled_cycles) /
+                                static_cast<double>(filtered.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "ablation_mst_filter", t);
+  }
+
+  {
+    Table t("ECL-SCC trimming on/off");
+    t.set_header({"Graph", "trimmed vertices", "m w/o trim", "m w/ trim",
+                  "trim speedup"});
+    for (const auto& spec : gen::mesh_inputs()) {
+      const auto g = spec.make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      algos::scc::Options base, trimmed;
+      trimmed.trim = true;
+      const auto a = algos::scc::run(d1, g, base);
+      const auto b = algos::scc::run(d2, g, trimmed);
+      ECLP_CHECK(algos::scc::verify(g, a.scc_id));
+      ECLP_CHECK(algos::scc::verify(g, b.scc_id));
+      ECLP_CHECK(a.num_sccs == b.num_sccs);
+      t.add_row({spec.name, fmt::grouped(b.trimmed_vertices),
+                 std::to_string(a.outer_iterations),
+                 std::to_string(b.outer_iterations),
+                 fmt::fixed(static_cast<double>(a.modeled_cycles) /
+                                static_cast<double>(b.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "ablation_scc_trim", t);
+    std::printf(
+        "trimming pays where many vertices sit on no cycle (cold-flow);\n"
+        "where everything is cyclic it is a cheap no-op.\n");
+  }
+
+  {
+    Table t("ECL-MIS priority function (set size; paper §2.3 motivation)");
+    t.set_header({"Graph", "degree-aware |MIS|", "uniform-hash |MIS|",
+                  "vertex-id |MIS|", "degree-aware gain"});
+    for (const char* name : {"internet", "as-skitter", "kron_g500-logn21",
+                             "soc-LiveJournal1", "r4-2e23.sym"}) {
+      const auto g = gen::find_input(name).make(ctx.scale);
+      const auto size_with = [&](algos::mis::Priority p) {
+        auto dev = harness::make_device();
+        algos::mis::Options opt;
+        opt.priority = p;
+        const auto res = algos::mis::run(dev, g, opt);
+        ECLP_CHECK(algos::mis::verify(g, res.status));
+        return res.set_size;
+      };
+      const usize aware = size_with(algos::mis::Priority::kDegreeAware);
+      const usize uniform = size_with(algos::mis::Priority::kUniformHash);
+      const usize by_id = size_with(algos::mis::Priority::kVertexId);
+      t.add_row({name, fmt::grouped(aware), fmt::grouped(uniform),
+                 fmt::grouped(by_id),
+                 fmt::signed_pct(100.0 * (static_cast<double>(aware) /
+                                              static_cast<double>(uniform) -
+                                          1.0),
+                                 1) +
+                     "%"});
+    }
+    harness::emit(ctx, "ablation_mis_priority", t);
+    std::printf(
+        "the degree-aware priority is why ECL-MIS finds larger sets than\n"
+        "random-priority selection on skewed-degree inputs.\n");
+  }
+  return 0;
+}

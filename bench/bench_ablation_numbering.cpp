@@ -1,0 +1,74 @@
+// Ablation — how the vertex numbering drives ECL-SCC's block locality.
+//
+// The paper observes (§6.1.2) that "signature propagations appear to remain
+// largely localized within thread blocks". That is a property of the mesh
+// *numbering*, not the algorithm: contiguous ids must cover spatially
+// compact patches. This bench reruns ECL-SCC on one mesh under three
+// numberings — the shipped locality-preserving (Morton) order, a BFS
+// (Cuthill-McKee-style) order, and a random order — and reports the block
+// affinity of each numbering, the propagation launches (n) it needs, and
+// the modeled cost.
+#include "algos/common.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/suite.hpp"
+#include "graph/reorder.hpp"
+#include "graph/transforms.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("input", "mesh input", "toroid-wedge");
+  const auto ctx = harness::parse(
+      argc, argv, "Ablation: vertex numbering vs. SCC block locality", cli);
+
+  const auto base = gen::find_input(cli.get("input")).make(ctx.scale);
+
+  struct Variant {
+    std::string name;
+    graph::Csr g;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"shipped (Morton)", base});
+  variants.push_back({"BFS (Cuthill-McKee)",
+                      graph::relabel(base, graph::order_bfs(base))});
+  variants.push_back(
+      {"random", graph::relabel(base, graph::order_random(base, 13))});
+
+  Table t("ECL-SCC on " + cli.get("input") + " under three numberings");
+  t.set_header({"numbering", "block affinity@512", "total n launches",
+                "modeled cycles", "slowdown"});
+  u64 baseline_cycles = 0;
+  std::vector<vidx> expected;
+  for (const auto& variant : variants) {
+    auto dev = harness::make_device();
+    algos::scc::Options opt;
+    opt.record_series = true;
+    const auto res = algos::scc::run(dev, variant.g, opt);
+    ECLP_CHECK(algos::scc::verify(variant.g, res.scc_id));
+    // All numberings must find the same number of SCCs.
+    if (expected.empty()) {
+      expected.assign(1, static_cast<vidx>(res.num_sccs));
+    } else {
+      ECLP_CHECK(res.num_sccs == expected[0]);
+    }
+    u64 total_n = 0;
+    for (const u32 inner : res.inner_per_outer) total_n += inner;
+    const double affinity = graph::block_affinity(variant.g, 512);
+    if (baseline_cycles == 0) baseline_cycles = res.modeled_cycles;
+    t.add_row({variant.name, fmt::fixed(100.0 * affinity, 1) + "%",
+               std::to_string(total_n),
+               fmt::grouped(res.modeled_cycles),
+               fmt::fixed(static_cast<double>(res.modeled_cycles) /
+                              static_cast<double>(baseline_cycles),
+                          2) +
+                   "x"});
+  }
+  harness::emit(ctx, "ablation_numbering", t);
+  std::printf(
+      "expected: the locality-preserving numbering keeps most arcs inside a\n"
+      "block (high affinity), needs the fewest grid relaunches, and is the\n"
+      "cheapest — the structural basis of the paper's §6.1.2 observation.\n");
+  return 0;
+}

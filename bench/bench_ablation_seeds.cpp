@@ -1,0 +1,58 @@
+// Ablation — how sensitive the MIS metrics are to thread scheduling.
+//
+// Extends the paper's Table 3 from three runs to a seed sweep and reports
+// the distribution (min / median / max, relative spread) of the
+// per-thread-iteration statistics, plus the MIS size, per input. This
+// quantifies the §6.1.1 claim that "iteration counts are a little different
+// for every run, but the general trends remain the same".
+#include "algos/mis/ecl_mis.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+#include "support/stats.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("seeds", "number of scheduler seeds to sweep", "10");
+  const auto ctx = harness::parse(
+      argc, argv, "Ablation: MIS metric sensitivity to scheduling", cli);
+  const int seeds = static_cast<int>(ctx.cli.get_int("seeds"));
+
+  Table t("Ablation — ECL-MIS across " + std::to_string(seeds) +
+          " scheduler seeds");
+  t.set_header({"Graph", "iterAvg med", "iterAvg spread", "iterMax med",
+                "iterMax spread", "|MIS| med", "|MIS| spread"});
+
+  // A representative subset spanning the degree regimes.
+  for (const char* name : {"2d-2e20.sym", "as-skitter", "europe_osm",
+                           "kron_g500-logn21", "internet"}) {
+    const auto g = gen::find_input(name).make(ctx.scale);
+    std::vector<double> avgs, maxes, sizes;
+    for (int s = 0; s < seeds; ++s) {
+      auto dev = harness::make_device(1000 + static_cast<u64>(s),
+                                      sim::ScheduleMode::kShuffled);
+      const auto res = algos::mis::run(dev, g);
+      ECLP_CHECK_MSG(algos::mis::verify(g, res.status),
+                     "invalid MIS on " << name << " seed " << s);
+      avgs.push_back(res.metrics.iterations.mean);
+      maxes.push_back(res.metrics.iterations.max);
+      sizes.push_back(static_cast<double>(res.set_size));
+    }
+    const auto spread = [](std::vector<double>& xs) {
+      const auto s = stats::summarize(std::span<const double>(xs));
+      return s.mean > 0 ? 100.0 * (s.max - s.min) / s.mean : 0.0;
+    };
+    t.add_row({name, fmt::fixed(stats::median(avgs), 2),
+               fmt::fixed(spread(avgs), 1) + "%",
+               fmt::fixed(stats::median(maxes), 0),
+               fmt::fixed(spread(maxes), 1) + "%",
+               fmt::fixed(stats::median(sizes), 0),
+               fmt::fixed(spread(sizes), 2) + "%"});
+  }
+  harness::emit(ctx, "ablation_seeds", t);
+  std::printf(
+      "expected: iteration metrics vary by a few percent across seeds (the\n"
+      "internal nondeterminism of Table 3); the MIS size varies far less.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Baseline comparisons — the algorithms the ECL codes improve on.
+//
+// The paper profiles the ECL suite because those codes are state of the
+// art; this bench grounds that by running each against its classic GPU
+// predecessor on the simulated device:
+//   * ECL-CC            vs. min-label propagation with pointer jumping,
+//   * ECL-MIS           vs. Luby's round-synchronous random selection,
+//   * ECL-SCC           vs. forward-backward (FW-BW) with trimming.
+// Speedup > 1 means the ECL code is faster in modeled cycles.
+#include "algos/baselines/fw_bw_scc.hpp"
+#include "algos/baselines/label_prop_cc.hpp"
+#include "algos/baselines/luby_mis.hpp"
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/common.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv, "Baselines: ECL codes vs. their classic GPU predecessors");
+
+  {
+    Table t("ECL-CC vs. label propagation");
+    t.set_header({"Graph", "LP rounds", "LP cycles", "ECL-CC cycles",
+                  "ECL speedup"});
+    for (const char* name :
+         {"2d-2e20.sym", "as-skitter", "europe_osm", "kron_g500-logn21",
+          "r4-2e23.sym", "USA-road-d.USA"}) {
+      const auto g = gen::find_input(name).make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      const auto lp = algos::baselines::label_prop_cc(d1, g);
+      const auto ecl = algos::cc::run(d2, g);
+      ECLP_CHECK(algos::cc::verify(g, lp.labels));
+      ECLP_CHECK(algos::cc::verify(g, ecl.labels));
+      t.add_row({name, std::to_string(lp.rounds),
+                 fmt::grouped(lp.modeled_cycles),
+                 fmt::grouped(ecl.modeled_cycles),
+                 fmt::fixed(static_cast<double>(lp.modeled_cycles) /
+                                static_cast<double>(ecl.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "baselines_cc", t);
+  }
+
+  {
+    Table t("ECL-MIS vs. Luby");
+    t.set_header({"Graph", "Luby rounds", "Luby |MIS|", "ECL |MIS|",
+                  "size gain", "ECL speedup"});
+    for (const char* name : {"internet", "as-skitter", "europe_osm",
+                             "rmat16.sym", "r4-2e23.sym"}) {
+      const auto g = gen::find_input(name).make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      const auto luby = algos::baselines::luby_mis(d1, g, /*seed=*/42);
+      const auto ecl = algos::mis::run(d2, g);
+      ECLP_CHECK(algos::mis::verify(g, luby.status));
+      ECLP_CHECK(algos::mis::verify(g, ecl.status));
+      t.add_row({name, std::to_string(luby.rounds),
+                 fmt::grouped(luby.set_size), fmt::grouped(ecl.set_size),
+                 fmt::signed_pct(100.0 *
+                                     (static_cast<double>(ecl.set_size) /
+                                          static_cast<double>(luby.set_size) -
+                                      1.0),
+                                 1) +
+                     "%",
+                 fmt::fixed(static_cast<double>(luby.modeled_cycles) /
+                                static_cast<double>(ecl.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "baselines_mis", t);
+  }
+
+  {
+    Table t("ECL-SCC vs. FW-BW");
+    t.set_header({"Graph", "FW-BW pivots", "FW-BW BFS launches",
+                  "FW-BW cycles", "ECL-SCC cycles", "ECL speedup"});
+    for (const auto& spec : gen::mesh_inputs()) {
+      const auto g = spec.make(ctx.scale);
+      auto d1 = harness::make_device();
+      auto d2 = harness::make_device();
+      const auto fwbw = algos::baselines::fw_bw_scc(d1, g);
+      const auto ecl = algos::scc::run(d2, g);
+      ECLP_CHECK(algos::scc::verify(g, fwbw.scc_id));
+      ECLP_CHECK(algos::scc::verify(g, ecl.scc_id));
+      t.add_row({spec.name, std::to_string(fwbw.pivots),
+                 std::to_string(fwbw.bfs_launches),
+                 fmt::grouped(fwbw.modeled_cycles),
+                 fmt::grouped(ecl.modeled_cycles),
+                 fmt::fixed(static_cast<double>(fwbw.modeled_cycles) /
+                                static_cast<double>(ecl.modeled_cycles),
+                            2)});
+    }
+    harness::emit(ctx, "baselines_scc", t);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 2 — ECL-MST per-iteration metrics on amazon0601.
+//
+// For every iteration of the main kernel (Regular iterations over light
+// edges, then Filter iterations over the heavy remainder), three
+// percentages: threads that had work, threads whose atomics conflicted, and
+// useless atomics (ineffective atomicMin / failed atomicCAS). The paper's
+// error bars are 95% confidence intervals around the median of several
+// runs; we reproduce them by rerunning under distinct scheduler seeds.
+#include "algos/mst/ecl_mst.hpp"
+#include "gen/suite.hpp"
+#include "graph/transforms.hpp"
+#include "harness/harness.hpp"
+#include "support/plot.hpp"
+#include "support/stats.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("input", "input graph to profile", "amazon0601");
+  const auto ctx = harness::parse(
+      argc, argv, "Figure 2: ECL-MST per-iteration profile", cli);
+
+  const auto& spec = gen::find_input(ctx.cli.get("input"));
+  const auto g =
+      graph::with_random_weights(spec.make(ctx.scale), /*seed=*/42);
+
+  // Collect per-iteration metrics across runs (distinct seeds).
+  std::vector<std::vector<algos::mst::IterationMetrics>> all_runs;
+  for (int r = 0; r < std::max(3, ctx.runs); ++r) {
+    auto dev = harness::make_device(static_cast<u64>(r),
+                                    r == 0 ? sim::ScheduleMode::kDeterministic
+                                           : sim::ScheduleMode::kShuffled);
+    algos::mst::Options opt;
+    opt.record_iteration_metrics = true;
+    auto res = algos::mst::run(dev, g, opt);
+    ECLP_CHECK_MSG(algos::mst::verify(g, res), "wrong MST");
+    all_runs.push_back(std::move(res.iterations));
+  }
+
+  // Median (and 95% CI) of each metric per iteration index/kind.
+  const auto& shape = all_runs.front();
+  Table t("Figure 2 — ECL-MST metrics per iteration on " + spec.name +
+          " (median of runs, [95% CI])");
+  t.set_header({"Iteration", "% threads w/ work", "% conflicting",
+                "% useless atomics"});
+  for (usize i = 0; i < shape.size(); ++i) {
+    std::vector<double> work, conf, useless;
+    for (const auto& run : all_runs) {
+      if (i >= run.size() || run[i].kind != shape[i].kind) continue;
+      work.push_back(run[i].pct_with_work());
+      conf.push_back(run[i].pct_conflicting());
+      useless.push_back(run[i].pct_useless_atomics());
+    }
+    if (work.empty()) continue;
+    const auto cell = [](std::vector<double>& xs) {
+      const double med = stats::median(xs);
+      const auto ci = stats::median_ci95(xs);
+      return fmt::fixed(med, 1) + " [" + fmt::fixed(ci.lo, 1) + "," +
+             fmt::fixed(ci.hi, 1) + "]";
+    };
+    t.add_row({shape[i].kind + " " + std::to_string(shape[i].index),
+               cell(work), cell(conf), cell(useless)});
+  }
+  harness::emit(ctx, "figure2_mst", t);
+
+  // ASCII rendering of the figure's grouped bars (medians).
+  plot::BarChart chart;
+  chart.title = "ECL-MST per-iteration metrics on " + spec.name + " (%)";
+  chart.series = {"threads w/ work", "conflicting", "useless atomics"};
+  for (usize i = 0; i < shape.size(); ++i) {
+    std::vector<double> work, conf, useless;
+    for (const auto& run : all_runs) {
+      if (i >= run.size() || run[i].kind != shape[i].kind) continue;
+      work.push_back(run[i].pct_with_work());
+      conf.push_back(run[i].pct_conflicting());
+      useless.push_back(run[i].pct_useless_atomics());
+    }
+    if (work.empty()) continue;
+    chart.row_labels.push_back(shape[i].kind + " " +
+                               std::to_string(shape[i].index));
+    chart.rows.push_back({stats::median(work), stats::median(conf),
+                          stats::median(useless)});
+  }
+  std::printf("%s\n", chart.render().c_str());
+
+  std::printf(
+      "expected shape (paper §6.1.4): high %%-with-work only in the first\n"
+      "iteration of each kind; conflicts decrease with iteration count;\n"
+      "useless atomics increase with iteration count.\n");
+  return 0;
+}

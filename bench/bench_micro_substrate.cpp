@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the substrate the reproductions
+// stand on: simulator launch/atomic throughput, profiling counter cost,
+// graph construction, and the sequential references. These guard against
+// performance regressions in the simulator itself — the table benches
+// depend on it being fast enough to run the full suite.
+#include <benchmark/benchmark.h>
+
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/mst/ecl_mst.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/generators.hpp"
+#include "gen/meshes.hpp"
+#include "graph/builder.hpp"
+#include "graph/properties.hpp"
+#include "graph/transforms.hpp"
+#include "profile/counters.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using namespace eclp;
+
+void BM_SimLaunchOverhead(benchmark::State& state) {
+  sim::Device dev;
+  for (auto _ : state) {
+    dev.launch("noop", {1, 32}, [](sim::ThreadCtx&) {});
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SimLaunchOverhead);
+
+void BM_SimThreadDispatch(benchmark::State& state) {
+  sim::Device dev;
+  const u32 threads = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    dev.launch("dispatch", {threads / 256, 256},
+               [](sim::ThreadCtx& ctx) { ctx.charge_alu(1); });
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * threads);
+}
+BENCHMARK(BM_SimThreadDispatch)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_SimAtomicCas(benchmark::State& state) {
+  sim::Device dev;
+  u32 target = 0;
+  for (auto _ : state) {
+    dev.launch("cas", {1, 256}, [&](sim::ThreadCtx& ctx) {
+      for (int i = 0; i < 16; ++i) {
+        const u32 old = target;
+        ctx.atomic_cas(target, old, old + 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 256 * 16);
+}
+BENCHMARK(BM_SimAtomicCas);
+
+void BM_CounterPerThreadInc(benchmark::State& state) {
+  profile::PerThreadCounter counter(1u << 16);
+  u32 i = 0;
+  for (auto _ : state) {
+    counter.inc(i++ & 0xffff);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CounterPerThreadInc);
+
+void BM_GraphBuildCsr(benchmark::State& state) {
+  const vidx n = static_cast<vidx>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::uniform_random(n, n * 4, 7));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_GraphBuildCsr)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GraphBfs(benchmark::State& state) {
+  const auto g = gen::grid2d_torus(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_GraphBfs);
+
+void BM_EclCcEndToEnd(benchmark::State& state) {
+  const auto g = gen::rmat(13, 60000, 0.45, 0.22, 0.22, 5);
+  for (auto _ : state) {
+    sim::Device dev;
+    benchmark::DoNotOptimize(algos::cc::run(dev, g));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_EclCcEndToEnd);
+
+void BM_EclMstEndToEnd(benchmark::State& state) {
+  const auto g =
+      graph::with_random_weights(gen::uniform_random(10000, 40000, 9), 9);
+  for (auto _ : state) {
+    sim::Device dev;
+    benchmark::DoNotOptimize(algos::mst::run(dev, g));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_EclMstEndToEnd);
+
+void BM_EclSccEndToEnd(benchmark::State& state) {
+  const auto g = gen::cold_flow(64, 3);
+  for (auto _ : state) {
+    sim::Device dev;
+    benchmark::DoNotOptimize(algos::scc::run(dev, g));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_EclSccEndToEnd);
+
+void BM_TarjanReference(benchmark::State& state) {
+  const auto g = gen::klein_bottle(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algos::scc::reference_scc(g));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_TarjanReference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

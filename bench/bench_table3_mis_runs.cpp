@@ -1,0 +1,49 @@
+// Table 3 — ECL-MIS iteration counts across multiple runs.
+//
+// The paper measures each input several times to expose the internal
+// (thread-timing) nondeterminism of the lock-free asynchronous kernel. Here
+// "timing" is the simulator's shuffled scheduler: each run uses a different
+// seed, so iteration counts vary run to run while the MIS itself remains
+// valid — and rerunning this bench reproduces the identical table, because
+// the nondeterminism is seed-controlled.
+#include "algos/mis/ecl_mis.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv, "Table 3: ECL-MIS iteration counts across runs");
+
+  const int runs = std::max(ctx.runs, 3);
+  Table t("Table 3 — ECL-MIS iterations across " + std::to_string(runs) +
+          " shuffled-schedule runs");
+  std::vector<std::string> header = {"Graph"};
+  for (int r = 1; r <= runs; ++r) {
+    header.push_back("Run " + std::to_string(r) + " Avg");
+    header.push_back("Run " + std::to_string(r) + " Max");
+  }
+  t.set_header(std::move(header));
+
+  for (const auto& spec : gen::general_inputs()) {
+    const auto g = spec.make(ctx.scale);
+    std::vector<std::string> row = {spec.name};
+    for (int r = 0; r < runs; ++r) {
+      auto dev = harness::make_device(0x7ab1e3 + static_cast<u64>(r),
+                                      sim::ScheduleMode::kShuffled);
+      const auto res = algos::mis::run(dev, g);
+      ECLP_CHECK_MSG(algos::mis::verify(g, res.status),
+                     "invalid MIS on " << spec.name << " run " << r);
+      row.push_back(fmt::fixed(res.metrics.iterations.mean, 2));
+      row.push_back(fmt::fixed(res.metrics.iterations.max, 0));
+    }
+    t.add_row(std::move(row));
+  }
+  harness::emit(ctx, "table3_mis_runs", t);
+  std::printf(
+      "note: every run produced a valid MIS; the counts differ run to run\n"
+      "(internal nondeterminism) while trends per input stay stable, as the\n"
+      "paper observes in §6.1.1.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 4 — profiling of the ECL-CC init kernel.
+//
+// Two counters per input: vertices initialized (== |V|, shown as the
+// reference) and adjacency entries traversed while searching for the first
+// smaller neighbor. A small gap means most vertices find a smaller neighbor
+// immediately; a large gap (citation graphs) means many vertices scan their
+// whole — sorted! — list in vain, the waste §6.2.2 eliminates.
+#include "algos/cc/ecl_cc.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+#include "profile/histogram.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx =
+      harness::parse(argc, argv, "Table 4: ECL-CC init-kernel counters");
+
+  Table t("Table 4 — ECL-CC init kernel profile");
+  t.set_header({"Graph", "Vertices initialized", "Vertices traversed",
+                "ratio", "bimodal %"});
+  for (const auto& spec : gen::general_inputs()) {
+    const auto g = spec.make(ctx.scale);
+    auto dev = harness::make_device();
+    algos::cc::Options opt;
+    opt.record_per_vertex_traversals = true;
+    const auto res = algos::cc::run(dev, g, opt);
+    ECLP_CHECK_MSG(algos::cc::verify(g, res.labels),
+                   "wrong CC labels on " << spec.name);
+    const double init =
+        static_cast<double>(res.profile.vertices_initialized);
+    const double trav =
+        static_cast<double>(res.profile.init_neighbors_traversed);
+    // Paper §6.1.3: "the number of vertices traversed is either 1 or equal
+    // to the vertex's degree". Verify directly on the per-vertex data.
+    u64 bimodal = 0, with_edges = 0;
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) == 0) continue;
+      ++with_edges;
+      const u64 tr = res.init_traversal_per_vertex[v];
+      bimodal += (tr == 1 || tr == g.degree(v));
+    }
+    t.add_row({spec.name, fmt::sci(init, 2), fmt::sci(trav, 2),
+               fmt::fixed(trav / init, 2),
+               fmt::fixed(with_edges ? 100.0 * static_cast<double>(bimodal) /
+                                           static_cast<double>(with_edges)
+                                     : 100.0,
+                          1)});
+  }
+  harness::emit(ctx, "table4_cc_init", t);
+
+  // The distribution behind one traversal-heavy input, as a histogram.
+  {
+    const auto g = gen::find_input("cit-Patents").make(ctx.scale);
+    auto dev = harness::make_device();
+    algos::cc::Options opt;
+    opt.record_per_vertex_traversals = true;
+    const auto res = algos::cc::run(dev, g, opt);
+    profile::Log2Histogram h;
+    h.add_all(res.init_traversal_per_vertex);
+    std::printf("%s\n",
+                h.to_table("per-vertex init traversals on cit-Patents")
+                    .to_text()
+                    .c_str());
+  }
+  std::printf(
+      "the 'bimodal %%' column verifies the paper's §6.1.3 per-vertex claim:\n"
+      "a vertex either stops at its first (smallest) neighbor or scans its\n"
+      "whole sorted list in vain.\n");
+  return 0;
+}

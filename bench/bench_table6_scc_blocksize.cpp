@@ -1,0 +1,46 @@
+// Table 6 — ECL-SCC speedups for different thread-block sizes.
+//
+// The paper tunes the propagation kernel's block size after observing
+// (Figure 1) that block-wide synchronization keeps idle threads alive.
+// Speedup = modeled cycles at the original 512 threads/block divided by
+// modeled cycles at the candidate size. Expected shape: small blocks lose
+// (propagation crosses more block boundaries => more grid relaunches);
+// 1024 loses (idle threads in every block-wide sync); 128/256 win or tie.
+#include "algos/common.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv, "Table 6: ECL-SCC speedup vs. thread-block size");
+
+  const std::vector<u32> sizes = {64, 128, 256, 1024};
+  Table t("Table 6 — ECL-SCC speedups over 512 threads/block");
+  t.set_header({"Graph", "64", "128", "256", "1024"});
+
+  for (const auto& spec : gen::mesh_inputs()) {
+    const auto g = spec.make(ctx.scale);
+    const auto cycles_at = [&](u32 tpb) {
+      auto dev = harness::make_device();
+      algos::scc::Options opt;
+      opt.threads_per_block = tpb;
+      const auto res = algos::scc::run(dev, g, opt);
+      ECLP_CHECK_MSG(algos::scc::verify(g, res.scc_id),
+                     "wrong SCCs on " << spec.name << " tpb " << tpb);
+      return res.modeled_cycles;
+    };
+    const u64 base = cycles_at(512);
+    std::vector<std::string> row = {spec.name};
+    for (const u32 tpb : sizes) {
+      row.push_back(fmt::fixed(
+          static_cast<double>(base) / static_cast<double>(cycles_at(tpb)),
+          2));
+    }
+    t.add_row(std::move(row));
+  }
+  harness::emit(ctx, "table6_scc_blocksize", t);
+  return 0;
+}

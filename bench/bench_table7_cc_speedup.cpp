@@ -1,0 +1,47 @@
+// Table 7 — ECL-CC speedup from the optimized init kernel.
+//
+// The optimization (§6.2.2): adjacency lists are sorted, so the first
+// neighbor is the smallest — init never needs to scan further. Speedup =
+// original modeled cycles / optimized modeled cycles. Expected shape: gains
+// concentrate on the inputs whose Table 4 traversed/initialized ratio is
+// large and whose init share of runtime is nontrivial; others are ~1.00.
+#include "algos/cc/ecl_cc.hpp"
+#include "gen/suite.hpp"
+#include "harness/harness.hpp"
+
+using namespace eclp;
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv, "Table 7: ECL-CC speedup from the optimized init kernel");
+
+  Table t("Table 7 — ECL-CC overall speedup (optimized init)");
+  t.set_header({"Graph", "Speedup", "init share", "traversed/initialized"});
+  for (const auto& spec : gen::general_inputs()) {
+    const auto g = spec.make(ctx.scale);
+    auto d1 = harness::make_device();
+    auto d2 = harness::make_device();
+    algos::cc::Options orig, fast;
+    fast.optimized_init = true;
+    const auto a = algos::cc::run(d1, g, orig);
+    const auto b = algos::cc::run(d2, g, fast);
+    ECLP_CHECK_MSG(algos::cc::verify(g, b.labels),
+                   "wrong CC labels on " << spec.name);
+    const double speedup = static_cast<double>(a.modeled_cycles) /
+                           static_cast<double>(b.modeled_cycles);
+    const double init_share = static_cast<double>(a.init_cycles) /
+                              static_cast<double>(a.modeled_cycles);
+    const double ratio =
+        static_cast<double>(a.profile.init_neighbors_traversed) /
+        static_cast<double>(a.profile.vertices_initialized);
+    t.add_row({spec.name, fmt::fixed(speedup, 2),
+               fmt::fixed(100.0 * init_share, 1) + "%",
+               fmt::fixed(ratio, 2)});
+  }
+  harness::emit(ctx, "table7_cc_speedup", t);
+  std::printf(
+      "the paper lists only the inputs with noticeable gains (1.03-1.16);\n"
+      "columns 3-4 explain who gains: a high traversed/initialized ratio\n"
+      "combined with a nontrivial init share of total runtime.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Baseline strongly connected components: the forward-backward (FW-BW)
+// algorithm with trimming — the classic GPU SCC approach that ECL-SCC's
+// all-pivots signature propagation improves on.
+//
+// Each phase processes one active region: trim degree-0 vertices (singleton
+// SCCs), pick a pivot, compute its forward and backward reachable sets with
+// level-synchronous BFS kernels, emit F ∩ B as an SCC, and split the region
+// into the three remainders (F\B, B\F, rest), which are processed later.
+// One pivot per phase — the serialization ECL-SCC's concurrent pivots avoid.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/device.hpp"
+
+namespace eclp::algos::baselines {
+
+struct FwBwResult {
+  std::vector<vidx> scc_id;
+  usize num_sccs = 0;
+  u32 pivots = 0;       ///< pivot phases executed (serialized work)
+  u32 trim_rounds = 0;  ///< trimming sweeps across all phases
+  u32 bfs_launches = 0; ///< frontier kernel launches across all phases
+  u64 modeled_cycles = 0;
+};
+
+FwBwResult fw_bw_scc(sim::Device& dev, const graph::Csr& g,
+                     u32 threads_per_block = 256);
+
+}  // namespace eclp::algos::baselines

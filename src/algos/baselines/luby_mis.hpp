@@ -1,0 +1,26 @@
+// Baseline maximal independent set: Luby's round-synchronous random-
+// selection algorithm. Every round, undecided vertices draw fresh random
+// values; local maxima join the set and knock their neighbors out. ECL-MIS
+// replaces the per-round randomness with one static degree-aware priority
+// and drops the round barrier — this baseline quantifies what that buys
+// (fewer kernel rounds, larger sets).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/device.hpp"
+
+namespace eclp::algos::baselines {
+
+struct LubyResult {
+  std::vector<u8> status;  ///< mis::kIn / mis::kOut
+  usize set_size = 0;
+  u32 rounds = 0;
+  u64 modeled_cycles = 0;
+};
+
+LubyResult luby_mis(sim::Device& dev, const graph::Csr& g, u64 seed = 0,
+                    u32 threads_per_block = 256);
+
+}  // namespace eclp::algos::baselines

@@ -1,0 +1,243 @@
+#include "algos/cc/ecl_cc.hpp"
+
+#include <algorithm>
+
+#include "algos/common.hpp"
+#include "graph/properties.hpp"
+
+namespace eclp::algos::cc {
+
+namespace {
+
+/// representative() from ECL-CC: walk the parent chain, shortcutting visited
+/// links to their grandparent (intermediate pointer jumping).
+vidx representative(sim::ThreadCtx& ctx, std::vector<vidx>& nstat, vidx v,
+                    Profile& prof) {
+  prof.representative_calls++;
+  const vidx start = ctx.load(nstat[v]);
+  vidx curr = start;
+  if (curr != v) {
+    vidx prev = v;
+    vidx next;
+    while (curr > (next = ctx.load(nstat[curr]))) {
+      ctx.store(nstat[prev], next);
+      prev = curr;
+      curr = next;
+    }
+    prof.representative_moved += (curr != start) ? 1 : 0;
+  }
+  return curr;
+}
+
+/// Hook the components of v and neighbor u (u < v). Both reps walk down via
+/// atomicCAS until the two chains meet (ECL-CC's lock-free union).
+void hook(sim::ThreadCtx& ctx, std::vector<vidx>& nstat, vidx vstat,
+          vidx ostat, Profile& prof) {
+  bool repeat;
+  do {
+    repeat = false;
+    if (vstat != ostat) {
+      prof.hook_attempts++;
+      if (vstat < ostat) {
+        const vidx ret = ctx.atomic_cas(nstat[ostat], ostat, vstat);
+        if (ret != ostat) {
+          prof.hook_cas_failure++;
+          ostat = ret;
+          repeat = true;
+        } else {
+          prof.hook_cas_success++;
+        }
+      } else {
+        const vidx ret = ctx.atomic_cas(nstat[vstat], vstat, ostat);
+        if (ret != vstat) {
+          prof.hook_cas_failure++;
+          vstat = ret;
+          repeat = true;
+        } else {
+          prof.hook_cas_success++;
+        }
+      }
+    }
+  } while (repeat);
+}
+
+/// Walk to the representative without charging: used by the non-leader
+/// lanes of a warp/block-per-vertex kernel, which receive the value lane 0
+/// computed via a register broadcast instead of redoing the chase.
+vidx representative_uncharged(const std::vector<vidx>& nstat, vidx v) {
+  vidx curr = nstat[v];
+  while (curr != nstat[curr]) curr = nstat[curr];
+  return curr;
+}
+
+/// Process the (v, u<v) edges of one vertex with `width` cooperating
+/// threads; `lane` selects this thread's stripe (width=1 for the low-degree
+/// kernel, 32/256 for the warp/block-per-vertex kernels).
+void process_vertex_edges(sim::ThreadCtx& ctx, const graph::Csr& g,
+                          std::vector<vidx>& nstat, vidx v, u32 lane,
+                          u32 width, Profile& prof) {
+  const auto nbrs = g.neighbors(v);
+  ctx.charge_coalesced_reads(2);  // row offsets, streaming
+  // Lane 0 resolves the vertex's representative; the other lanes receive it
+  // by broadcast (one ALU step), as the warp-cooperative original does.
+  vidx vstat0;
+  if (lane == 0) {
+    vstat0 = representative(ctx, nstat, v, prof);
+  } else {
+    ctx.charge_alu(1);
+    vstat0 = representative_uncharged(nstat, v);
+  }
+  for (usize i = lane; i < nbrs.size(); i += width) {
+    const vidx u = nbrs[i];
+    // Adjacency scans coalesce across the cooperating lanes; the scattered
+    // traffic of this stage is the union-find pointer chasing inside
+    // representative()/hook().
+    ctx.charge_coalesced_reads(1);
+    if (u < v) {  // each undirected edge handled once, from the larger side
+      const vidx ostat = representative(ctx, nstat, u, prof);
+      hook(ctx, nstat, vstat0, ostat, prof);
+    }
+  }
+}
+
+}  // namespace
+
+Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
+  ECLP_CHECK_MSG(!g.directed(), "ECL-CC expects an undirected graph");
+  const vidx n = g.num_vertices();
+  Result res;
+  res.profile = Profile{};
+  Profile& prof = res.profile;
+  std::vector<vidx> nstat(n);
+
+  const u64 cycles_before = dev.total_cycles();
+  if (opt.record_per_vertex_traversals) {
+    res.init_traversal_per_vertex.assign(n, 0);
+  }
+
+  // --- init kernel ----------------------------------------------------------
+  // Original: scan the adjacency list for the first smaller neighbor.
+  // Optimized (§6.2.2): adjacency is sorted, so only the first entry can be
+  // the first smaller neighbor.
+  dev.launch("cc_init", blocks_for(n, opt.threads_per_block),
+             [&](sim::ThreadCtx& ctx) {
+               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+                 prof.vertices_initialized++;
+                 const auto nbrs = g.neighbors(v);
+                 ctx.charge_coalesced_reads(2);  // row offsets, streaming
+                 vidx label = v;
+                 u64 traversed = 0;
+                 if (opt.init_mode == InitMode::kOwnId) {
+                   // Baseline: no neighbor scan, all merging left to the
+                   // compute kernels.
+                 } else if (opt.optimized_init) {
+                   if (!nbrs.empty()) {
+                     ++traversed;
+                     ctx.charge_reads(1);
+                     if (nbrs[0] < v) label = nbrs[0];
+                   }
+                 } else {
+                   for (const vidx u : nbrs) {
+                     ++traversed;
+                     ctx.charge_reads(1);
+                     if (u < v) {
+                       label = u;
+                       break;
+                     }
+                   }
+                 }
+                 prof.init_neighbors_traversed += traversed;
+                 if (opt.record_per_vertex_traversals) {
+                   res.init_traversal_per_vertex[v] = traversed;
+                 }
+                 nstat[v] = label;
+                 ctx.charge_coalesced_writes(1);  // own slot, streaming
+               }
+             });
+  res.init_cycles = dev.total_cycles() - cycles_before;
+
+  // --- degree binning --------------------------------------------------------
+  std::vector<vidx> low_bin, mid_bin, high_bin;
+  for (vidx v = 0; v < n; ++v) {
+    const vidx d = g.degree(v);
+    if (d < opt.low_degree_limit) {
+      low_bin.push_back(v);
+    } else if (d < opt.high_degree_limit) {
+      mid_bin.push_back(v);
+    } else {
+      high_bin.push_back(v);
+    }
+  }
+  prof.low_bin_vertices = low_bin.size();
+  prof.mid_bin_vertices = mid_bin.size();
+  prof.high_bin_vertices = high_bin.size();
+
+  // --- compute kernels (3, customized per degree bin; paper §2.1) -----------
+  if (!low_bin.empty()) {
+    dev.launch("cc_compute_low", blocks_for(low_bin.size(), opt.threads_per_block),
+               [&](sim::ThreadCtx& ctx) {
+                 for (u64 i = ctx.global_id(); i < low_bin.size();
+                      i += ctx.grid_size()) {
+                   process_vertex_edges(ctx, g, nstat, low_bin[i], 0, 1, prof);
+                 }
+               });
+  }
+  constexpr u32 kWarp = sim::Device::kWarpSize;
+  if (!mid_bin.empty()) {
+    const u64 items = static_cast<u64>(mid_bin.size()) * kWarp;
+    dev.launch("cc_compute_mid", blocks_for(items, opt.threads_per_block),
+               [&](sim::ThreadCtx& ctx) {
+                 for (u64 i = ctx.global_id(); i < items;
+                      i += ctx.grid_size()) {
+                   process_vertex_edges(ctx, g, nstat, mid_bin[i / kWarp],
+                                        static_cast<u32>(i % kWarp), kWarp,
+                                        prof);
+                 }
+               });
+  }
+  if (!high_bin.empty()) {
+    const u32 width = opt.threads_per_block;
+    const u64 items = static_cast<u64>(high_bin.size()) * width;
+    dev.launch("cc_compute_high", blocks_for(items, opt.threads_per_block),
+               [&](sim::ThreadCtx& ctx) {
+                 for (u64 i = ctx.global_id(); i < items;
+                      i += ctx.grid_size()) {
+                   process_vertex_edges(ctx, g, nstat, high_bin[i / width],
+                                        static_cast<u32>(i % width), width,
+                                        prof);
+                 }
+               });
+  }
+
+  // --- finalize: full pointer jumping ----------------------------------------
+  dev.launch("cc_finalize", blocks_for(n, opt.threads_per_block),
+             [&](sim::ThreadCtx& ctx) {
+               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+                 vidx curr = ctx.load(nstat[v]);
+                 while (curr != nstat[curr]) {
+                   curr = ctx.load(nstat[curr]);
+                 }
+                 ctx.store(nstat[v], curr);
+               }
+             });
+
+  res.modeled_cycles = dev.total_cycles() - cycles_before;
+  res.labels = std::move(nstat);
+  return res;
+}
+
+std::vector<vidx> reference_labels(const graph::Csr& g) {
+  return graph::connected_component_labels(g);
+}
+
+bool verify(const graph::Csr& g, std::span<const vidx> labels) {
+  if (labels.size() != g.num_vertices()) return false;
+  const auto ref = reference_labels(g);
+  const auto norm = normalize_labels(labels);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (norm[v] != ref[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace eclp::algos::cc

@@ -1,0 +1,23 @@
+#include "algos/common.hpp"
+
+#include "support/check.hpp"
+
+namespace eclp::algos {
+
+std::vector<vidx> normalize_labels(std::span<const vidx> labels) {
+  const usize n = labels.size();
+  // smallest[l] = smallest vertex carrying label l.
+  std::vector<vidx> smallest(n, kNoVertex);
+  for (usize v = 0; v < n; ++v) {
+    const vidx l = labels[v];
+    ECLP_CHECK(l < n);
+    if (smallest[l] == kNoVertex || v < smallest[l]) {
+      smallest[l] = static_cast<vidx>(v);
+    }
+  }
+  std::vector<vidx> out(n);
+  for (usize v = 0; v < n; ++v) out[v] = smallest[labels[v]];
+  return out;
+}
+
+}  // namespace eclp::algos

@@ -1,0 +1,66 @@
+// Shared helpers for the five ECL algorithm ports.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "support/types.hpp"
+
+namespace eclp::algos {
+
+/// CUDA-style launch geometry: enough blocks of `tpb` threads to cover
+/// `items` work items (the last block may be partially idle, which the
+/// paper's "idle threads" metric tracks, §3.1.3).
+inline sim::LaunchConfig blocks_for(u64 items, u32 tpb) {
+  sim::LaunchConfig cfg;
+  cfg.threads_per_block = tpb;
+  cfg.blocks = static_cast<u32>(std::max<u64>(1, (items + tpb - 1) / tpb));
+  return cfg;
+}
+
+/// Sequential disjoint-set union for the reference implementations
+/// (path halving + union by size).
+class DisjointSets {
+ public:
+  explicit DisjointSets(usize n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), vidx{0});
+  }
+
+  vidx find(vidx x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two elements were in different sets (now merged).
+  bool unite(vidx a, vidx b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  usize num_sets() const {
+    usize count = 0;
+    for (vidx v = 0; v < parent_.size(); ++v) {
+      if (parent_[v] == v) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<vidx> parent_;
+  std::vector<u32> size_;
+};
+
+/// Normalize a component labeling so each component is named by its smallest
+/// member — makes labelings from different algorithms comparable.
+std::vector<vidx> normalize_labels(std::span<const vidx> labels);
+
+}  // namespace eclp::algos

@@ -1,0 +1,77 @@
+// ECL-GC: graph coloring via shortcutted Jones-Plassmann (Alabandi, Powers &
+// Burtscher, PPoPP'20), ported to the simulated device.
+//
+// Structure follows the paper's §2.2:
+//  * initialization — impose a Largest-Degree-First (LDF) priority order,
+//    turning the graph into a DAG whose edges point from higher- to
+//    lower-priority vertices; give each vertex a bitmap of its possible
+//    colors, sized by its DAG in-degree (a vertex with k higher-priority
+//    neighbors never needs a color > k);
+//  * coloring — repeat in parallel until every vertex is colored:
+//      - prune the bitmap by the colors claimed by colored higher-priority
+//        neighbors;
+//      - Shortcut 1: color a vertex with its best (lowest) available color
+//        as soon as no uncolored higher-priority neighbor still has that
+//        color under consideration — strict JP would wait for them all;
+//      - Shortcut 2: permanently drop the dependency on a higher-priority
+//        neighbor whose possible-color set no longer overlaps ours.
+//
+// The runLarge kernel handles vertices with degree > 31 (one warp per vertex
+// in the original; a separate launch here) and carries the two per-vertex
+// counters of the paper's Table 5: "best available color changed" and
+// "color assignment not yet possible".
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "profile/counters.hpp"
+#include "sim/device.hpp"
+#include "support/stats.hpp"
+
+namespace eclp::algos::gc {
+
+inline constexpr u32 kNoColor = static_cast<u32>(-1);
+/// Degree threshold above which a vertex is processed by runLarge.
+inline constexpr vidx kLargeDegree = 31;
+
+struct Options {
+  u32 threads_per_block = 256;
+  /// Disable both shortcuts: strict Jones-Plassmann, where a vertex waits
+  /// until every higher-priority neighbor is colored. Exists to measure the
+  /// parallelism the shortcuts buy (the contribution of the ECL-GC paper
+  /// this code ports) — the coloring stays proper either way.
+  bool use_shortcuts = true;
+};
+
+/// Per-vertex counters of the runLarge kernel (paper Table 5), summarized
+/// over the vertices runLarge processed (degree > 31).
+struct RunLargeMetrics {
+  usize large_vertices = 0;
+  stats::Summary best_color_changed;
+  stats::Summary not_yet_possible;
+};
+
+struct Result {
+  std::vector<u32> colors;
+  u32 num_colors = 0;
+  u64 host_iterations = 0;      ///< coloring rounds until done
+  u64 shortcut1_colorings = 0;  ///< colored before all deps resolved
+  u64 shortcut2_removals = 0;   ///< dependency edges dropped
+  RunLargeMetrics run_large;
+  u64 modeled_cycles = 0;
+};
+
+Result run(sim::Device& dev, const graph::Csr& g, const Options& opt = {});
+
+/// Sequential greedy coloring in LDF order (quality reference).
+std::vector<u32> reference_greedy(const graph::Csr& g);
+
+/// True when `colors` is a proper coloring (adjacent vertices differ, all
+/// vertices colored).
+bool verify(const graph::Csr& g, std::span<const u32> colors);
+
+/// Number of distinct colors used.
+u32 count_colors(std::span<const u32> colors);
+
+}  // namespace eclp::algos::gc

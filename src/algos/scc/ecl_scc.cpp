@@ -1,0 +1,329 @@
+#include "algos/scc/ecl_scc.hpp"
+
+#include <algorithm>
+
+#include "algos/common.hpp"
+
+namespace eclp::algos::scc {
+
+namespace {
+
+struct Arc {
+  vidx src;
+  vidx dst;
+};
+
+std::vector<Arc> flatten_arcs(const graph::Csr& g) {
+  std::vector<Arc> arcs;
+  arcs.reserve(g.num_edges());
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    for (const vidx w : g.neighbors(u)) arcs.push_back({u, w});
+  }
+  return arcs;
+}
+
+}  // namespace
+
+Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
+  ECLP_CHECK_MSG(g.directed(), "ECL-SCC expects a directed graph");
+  ECLP_CHECK(opt.edges_per_thread >= 1);
+  const vidx n = g.num_vertices();
+  const auto arcs = flatten_arcs(g);
+  const u64 num_arcs = arcs.size();
+
+  Result res;
+  res.scc_id.assign(n, kNoVertex);
+  const u64 cycles_before = dev.total_cycles();
+
+  std::vector<vidx> vin(n), vout(n);
+  std::vector<u8> settled(n, 0);
+  std::vector<u8> alive(num_arcs, 1);
+
+  const u64 prop_threads =
+      std::max<u64>(1, (num_arcs + opt.edges_per_thread - 1) /
+                           opt.edges_per_thread);
+  const sim::LaunchConfig prop_cfg =
+      blocks_for(prop_threads, opt.threads_per_block);
+  const sim::LaunchConfig vertex_cfg =
+      blocks_for(std::max<u64>(n, 1), opt.threads_per_block);
+
+  // Live in/out arc counts, maintained as edges die (used by trimming).
+  std::vector<u32> alive_out(n, 0), alive_in(n, 0);
+  for (const Arc& arc : arcs) {
+    alive_out[arc.src]++;
+    alive_in[arc.dst]++;
+  }
+
+  usize remaining = n;
+  u32 m = 0;
+  while (remaining > 0) {
+    ++m;
+    ECLP_CHECK_MSG(m <= n + 1, "ECL-SCC failed to converge");
+
+    // --- stage 0 (optional): trimming ----------------------------------------
+    // A live vertex with no live in-arc or no live out-arc is on no cycle:
+    // settle it as a singleton and let its arcs die, repeating to a fixed
+    // point (chains peel completely without any propagation).
+    while (opt.trim) {
+      u64 trimmed = 0;
+      dev.launch("scc_trim", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+        for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+          ctx.charge_coalesced_reads(3);
+          if (settled[v]) continue;
+          if (alive_out[v] == 0 || alive_in[v] == 0) {
+            ctx.charge_writes(2);
+            res.scc_id[v] = v;
+            settled[v] = 1;
+            ++trimmed;
+          }
+        }
+      });
+      if (trimmed == 0) break;
+      res.trimmed_vertices += trimmed;
+      remaining -= trimmed;
+      // Retire the arcs of freshly settled vertices so the counts drop.
+      dev.launch("scc_trim_edges", prop_cfg, [&](sim::ThreadCtx& ctx) {
+        const u64 begin =
+            static_cast<u64>(ctx.global_id()) * opt.edges_per_thread;
+        const u64 end = std::min<u64>(begin + opt.edges_per_thread, num_arcs);
+        for (u64 e = begin; e < end; ++e) {
+          ctx.charge_coalesced_reads(1);
+          if (!alive[e]) continue;
+          const vidx u = arcs[e].src, w = arcs[e].dst;
+          if (settled[u] || settled[w]) {
+            ctx.charge_writes(1);
+            alive[e] = 0;
+            alive_out[u]--;
+            alive_in[w]--;
+          }
+        }
+      });
+      dev.host_op();  // trimmed-count readback drives the repeat decision
+    }
+    if (remaining == 0) break;
+
+    // --- stage 1: signature initialization ----------------------------------
+    dev.launch("scc_init_signatures", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+      for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        ctx.charge_reads(1);
+        if (settled[v]) continue;
+        ctx.store(vin[v], v);
+        ctx.store(vout[v], v);
+      }
+    });
+
+    // --- stage 2: maximum-value propagation to a fixed point ----------------
+    // Visibility model (the simulator runs blocks one after another, the
+    // GPU runs them concurrently — both facts matter for the cost shapes of
+    // Table 6):
+    //  * within a block, sweeps have snapshot semantics
+    //    (launch_block_jacobi): a sweep's atomicMax intents are buffered and
+    //    committed at the block-wide sync, so value chains advance one hop
+    //    per sweep in both directions, as under warp parallelism;
+    //  * across blocks, a launch has snapshot semantics: values of vertices
+    //    "homed" in other blocks are read from the launch-start snapshot,
+    //    and updates targeting them apply after the launch — concurrent
+    //    blocks cannot observe each other mid-launch, so cross-block
+    //    propagation costs one grid relaunch per block boundary.
+    std::vector<vidx> home_block(n);
+    {
+      const u64 span = static_cast<u64>(prop_cfg.threads_per_block) *
+                       opt.edges_per_thread;
+      for (vidx v = 0; v < n; ++v) {
+        home_block[v] = static_cast<vidx>(g.edge_begin(v) / span);
+      }
+    }
+    std::vector<vidx> vin_snap(n), vout_snap(n);
+    u32 inner_n = 0;
+    struct Intent {
+      vidx* slot;
+      vidx value;
+    };
+    std::vector<Intent> local_intents;
+    std::vector<Intent> remote_intents;
+    while (true) {
+      ++inner_n;
+      vin_snap = vin;  // launch-start snapshot (a device-side copy)
+      vout_snap = vout;
+      std::vector<u64> block_updates(prop_cfg.blocks, 0);
+      u64 launch_updates = 0;
+      dev.launch_block_jacobi(
+          "scc_propagate", prop_cfg,
+          [&](sim::ThreadCtx& ctx, u64 /*inner_iter*/) {
+            const u32 b = ctx.block_idx();
+            const u64 begin =
+                static_cast<u64>(ctx.global_id()) * opt.edges_per_thread;
+            const u64 end = std::min<u64>(begin + opt.edges_per_thread,
+                                          num_arcs);
+            for (u64 e = begin; e < end; ++e) {
+              ctx.charge_coalesced_reads(1);  // alive flag, streaming
+              if (!alive[e]) continue;
+              const vidx u = arcs[e].src, w = arcs[e].dst;
+              ctx.charge_reads(2);  // the two signature loads
+              // v_out flows backwards (source learns what the destination
+              // can reach); v_in flows forwards.
+              const vidx vout_w = home_block[w] == b ? vout[w] : vout_snap[w];
+              if (vout_w > vout[u]) {
+                ctx.charge_atomics(1);
+                (home_block[u] == b ? local_intents : remote_intents)
+                    .push_back({&vout[u], vout_w});
+              }
+              const vidx vin_u = home_block[u] == b ? vin[u] : vin_snap[u];
+              if (vin_u > vin[w]) {
+                ctx.charge_atomics(1);
+                (home_block[w] == b ? local_intents : remote_intents)
+                    .push_back({&vin[w], vin_u});
+              }
+            }
+          },
+          [&](u32 block, u64 /*inner_iter*/) {
+            bool any = false;
+            for (const Intent& intent : local_intents) {
+              // Resolve the buffered atomicMax; classify its outcome for
+              // the device-wide atomic statistics (paper §3.1.5).
+              if (intent.value > *intent.slot) {
+                *intent.slot = intent.value;
+                any = true;
+                block_updates[block]++;
+                launch_updates++;
+                dev.atomic_stats().record(sim::AtomicOutcome::kMaxEffective);
+              } else {
+                dev.atomic_stats().record(
+                    sim::AtomicOutcome::kMaxIneffective);
+              }
+            }
+            local_intents.clear();
+            return any;
+          });
+      // Cross-block updates become visible only now, at launch end.
+      for (const Intent& intent : remote_intents) {
+        if (intent.value > *intent.slot) {
+          *intent.slot = intent.value;
+          launch_updates++;
+          dev.atomic_stats().record(sim::AtomicOutcome::kMaxEffective);
+        } else {
+          dev.atomic_stats().record(sim::AtomicOutcome::kMaxIneffective);
+        }
+      }
+      remote_intents.clear();
+      if (opt.record_series) {
+        res.series.record(m, inner_n, std::move(block_updates));
+      }
+      if (launch_updates == 0) break;  // grid-wide fixed point
+    }
+    res.inner_per_outer.push_back(inner_n);
+
+    // --- stage 3: matching + edge removal ------------------------------------
+    u64 newly_settled = 0;
+    dev.launch("scc_match", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+      for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        ctx.charge_reads(1);
+        if (settled[v]) continue;
+        if (ctx.load(vin[v]) == ctx.load(vout[v])) {
+          ctx.store(res.scc_id[v], vin[v]);
+          ctx.store(settled[v], u8{1});
+          newly_settled++;
+        }
+      }
+    });
+    dev.launch("scc_remove_edges", prop_cfg, [&](sim::ThreadCtx& ctx) {
+      const u64 begin =
+          static_cast<u64>(ctx.global_id()) * opt.edges_per_thread;
+      const u64 end = std::min<u64>(begin + opt.edges_per_thread, num_arcs);
+      for (u64 e = begin; e < end; ++e) {
+        ctx.charge_reads(1);
+        if (!alive[e]) continue;
+        const vidx u = arcs[e].src, w = arcs[e].dst;
+        const bool drop = settled[u] || settled[w] || vin[u] != vin[w] ||
+                          vout[u] != vout[w];
+        if (drop) {
+          ctx.store(alive[e], u8{0});
+          alive_out[u]--;
+          alive_in[w]--;
+        }
+      }
+    });
+    ECLP_CHECK_MSG(newly_settled > 0, "ECL-SCC round settled nothing");
+    remaining -= newly_settled;
+  }
+
+  res.outer_iterations = m;
+  res.modeled_cycles = dev.total_cycles() - cycles_before;
+  std::vector<u8> seen(n, 0);
+  for (vidx v = 0; v < n; ++v) {
+    const vidx id = res.scc_id[v];
+    if (!seen[id]) {
+      seen[id] = 1;
+      res.num_sccs++;
+    }
+  }
+  return res;
+}
+
+std::vector<vidx> reference_scc(const graph::Csr& g) {
+  // Iterative Tarjan with an explicit DFS stack.
+  const vidx n = g.num_vertices();
+  constexpr u32 kUnvisited = ~u32{0};
+  std::vector<u32> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<u8> on_stack(n, 0);
+  std::vector<vidx> stack, scc_of(n, kNoVertex);
+  u32 next_index = 0;
+
+  struct Frame {
+    vidx v;
+    usize edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (vidx start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    dfs.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto nbrs = g.neighbors(f.v);
+      if (f.edge < nbrs.size()) {
+        const vidx w = nbrs[f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const vidx v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v roots an SCC: pop the stack down to v.
+          vidx w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc_of[w] = v;
+          } while (w != v);
+        }
+      }
+    }
+  }
+  return scc_of;
+}
+
+bool verify(const graph::Csr& g, std::span<const vidx> scc_id) {
+  if (scc_id.size() != g.num_vertices()) return false;
+  for (const vidx id : scc_id) {
+    if (id >= g.num_vertices()) return false;
+  }
+  const auto ref = normalize_labels(reference_scc(g));
+  const auto got = normalize_labels(scc_id);
+  return std::equal(ref.begin(), ref.end(), got.begin());
+}
+
+}  // namespace eclp::algos::scc

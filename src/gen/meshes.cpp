@@ -1,0 +1,242 @@
+#include "gen/meshes.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/reorder.hpp"
+#include "graph/transforms.hpp"
+#include "support/prng.hpp"
+
+namespace eclp::gen {
+
+using graph::BuildOptions;
+using graph::Builder;
+using graph::Csr;
+
+namespace {
+
+BuildOptions directed_opts() {
+  BuildOptions opt;
+  opt.directed = true;
+  opt.remove_self_loops = true;
+  opt.dedupe = true;
+  return opt;
+}
+
+/// Renumber a side x side mesh along the Morton (Z-order) curve, the kind
+/// of locality-preserving numbering FEM meshes ship with: consecutive ids
+/// then cover compact 2D patches, so a thread block's contiguous edge range
+/// is a patch — the property behind the paper's observation that signature
+/// propagation "remains largely localized within thread blocks" (§6.1.2)
+/// and behind the block-size sensitivity of Table 6.
+graph::Csr morton_relabel(const graph::Csr& g, u32 side) {
+  return graph::relabel(g, graph::order_morton_grid(side));
+}
+
+}  // namespace
+
+Csr star_mesh(u32 petals, u32 avg_petal_len, u64 seed) {
+  ECLP_CHECK(petals >= 1 && avg_petal_len >= 3);
+  Rng rng(seed);
+  // Petal lengths vary from short to ~4x the average so cycles span from a
+  // fraction of a thread block to many blocks.
+  std::vector<u32> lengths;
+  u64 total = 0;
+  const u32 hub_len = std::max<u32>(8, petals);
+  total += hub_len;
+  for (u32 p = 0; p < petals; ++p) {
+    const double z = rng.unit();
+    const u32 len =
+        std::max<u32>(4, static_cast<u32>(avg_petal_len * (0.25 + 3.0 * z * z)));
+    lengths.push_back(len);
+    total += len;
+  }
+  ECLP_CHECK(total < kNoVertex);
+
+  Builder b(static_cast<vidx>(total));
+  // Hub cycle occupies ids [0, hub_len). Every vertex gets the cycle arc
+  // plus a +2 chord: out-degree 2 throughout, matching the original star
+  // mesh's d-avg = d-max = 2 (Table 1). Chords stay inside the cycle, so
+  // the SCC structure is unchanged.
+  for (u32 i = 0; i < hub_len; ++i) {
+    b.add(i, (i + 1) % hub_len);
+    b.add(i, (i + 2) % hub_len);
+  }
+  // Petals follow contiguously in id space; each is a chorded cycle.
+  std::vector<vidx> petal_base(petals), petal_len(petals);
+  vidx base = hub_len;
+  for (u32 p = 0; p < petals; ++p) {
+    const u32 len = lengths[p];
+    petal_base[p] = base;
+    petal_len[p] = len;
+    for (u32 i = 0; i < len; ++i) {
+      b.add(base + i, base + (i + 1) % len);
+      b.add(base + i, base + (i + 2) % len);
+    }
+    base += len;
+  }
+  // One-way connectors chain the petals in a *random* order (relative to
+  // their id ranges), so the condensation is a path whose per-petal maxima
+  // are unordered. The SCC prune rounds (the paper's outer counter m) then
+  // peel the chain at its running-maximum records, splitting segments
+  // recursively — m ~ O(log petals), reproducing the multi-round behaviour
+  // behind the paper's Figure 1 (m up to 10 on star).
+  auto order = rng.permutation(petals);
+  vidx prev_exit = 0;  // a hub vertex
+  for (u32 i = 0; i < petals; ++i) {
+    const u32 p = order[i];
+    b.add(prev_exit, petal_base[p]);
+    prev_exit = petal_base[p] + petal_len[p] / 2;
+  }
+  return b.build(directed_opts());
+}
+
+Csr toroid_wedge(u32 side, u64 seed) {
+  ECLP_CHECK(side >= 8);
+  Rng rng(seed);
+  const vidx n = side * side;
+  Builder b(n);
+  const auto id = [side](u32 x, u32 y) { return y * side + x; };
+  // Bands of 8 rows form one SCC each, strongly connected through *short
+  // local* cycles (forward row arcs + sparse backward arcs + vertical
+  // up/down pairs), the way unstructured mesh dependence graphs are: value
+  // chains then span spatial distance, not a global cycle circumference, so
+  // propagation cost varies smoothly with the thread-block size. Bands feed
+  // the next band one-way (the "wedge").
+  constexpr u32 kBand = 8;
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        b.add(id(x, y), id(x + 1, y));  // forward along the row
+        if (x % 3 == 0) b.add(id(x + 1, y), id(x, y));  // sparse back arc
+      }
+      const u32 band_row = y % kBand;
+      if (band_row + 1 < kBand && y + 1 < side) {
+        b.add(id(x, y), id(x, y + 1));  // downward inside the band
+        if (x % 4 == 0) b.add(id(x, y + 1), id(x, y));  // sparse upward
+      } else if (y + 1 < side && x % 4 == 0) {
+        b.add(id(x, y), id(x, y + 1));  // one-way wedge to the next band
+      }
+      if (x % 8 == 3 && y + 1 < side && rng.chance(0.5)) {
+        b.add(id(x, y), id(x + 1 < side ? x + 1 : x, y + 1));  // diagonal
+      }
+    }
+  }
+  return morton_relabel(b.build(directed_opts()), side);
+}
+
+Csr toroid_hex(u32 side, u64 seed) {
+  ECLP_CHECK(side >= 8);
+  Rng rng(seed);
+  const vidx n = side * side;
+  Builder b(n);
+  const auto id = [side](u32 x, u32 y) { return y * side + x; };
+  // Like toroid_wedge but denser (hex-like valence ~3) with 16-row bands.
+  constexpr u32 kBand = 16;
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        b.add(id(x, y), id(x + 1, y));
+        if (x % 2 == 0) b.add(id(x + 1, y), id(x, y));  // denser back arcs
+      }
+      const bool band_interior = (y % kBand) + 1 < kBand && y + 1 < side;
+      if (band_interior) {
+        b.add(id(x, y), id(x, y + 1));
+        if (x % 3 == 0) b.add(id(x, y + 1), id(x, y));  // sparse upward
+        // Hex diagonals on even columns.
+        if (x % 2 == 0 && x + 1 < side) {
+          b.add(id(x, y), id(x + 1, y + 1));
+        }
+      } else if (y + 1 < side && x % 4 == 1) {
+        b.add(id(x, y), id(x, y + 1));  // one-way band boundary
+      }
+      if (rng.chance(0.05) && x + 2 < side) {
+        b.add(id(x, y), id(x + 2, y));  // irregular skip arc
+      }
+    }
+  }
+  return morton_relabel(b.build(directed_opts()), side);
+}
+
+Csr cold_flow(u32 side, u64 seed) {
+  ECLP_CHECK(side >= 16);
+  Rng rng(seed);
+  const vidx n = side * side;
+  Builder b(n);
+  const auto id = [side](u32 x, u32 y) { return y * side + x; };
+
+  // Obstacle patches where the flow recirculates.
+  struct Patch {
+    u32 cx, cy, r;
+  };
+  std::vector<Patch> patches;
+  const u32 num_patches = std::max<u32>(1, side / 16);
+  for (u32 p = 0; p < num_patches; ++p) {
+    patches.push_back({static_cast<u32>(rng.below(side)),
+                       static_cast<u32>(rng.below(side)),
+                       static_cast<u32>(4 + rng.below(side / 8 + 1))});
+  }
+  const auto in_patch = [&](u32 x, u32 y) {
+    for (const auto& pt : patches) {
+      const i64 dx = static_cast<i64>(x) - pt.cx;
+      const i64 dy = static_cast<i64>(y) - pt.cy;
+      if (dx * dx + dy * dy <= static_cast<i64>(pt.r) * pt.r) return true;
+    }
+    return false;
+  };
+
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      if (in_patch(x, y)) {
+        // Recirculation: local clockwise cycle arcs.
+        b.add(id(x, y), id((x + side - 1) % side, y));
+        b.add(id((x + side - 1) % side, (y + 1) % side), id(x, y));
+        b.add(id(x, y), id(x, (y + 1) % side));
+      } else {
+        b.add(id(x, y), id((x + 1) % side, y));  // downstream flow
+        if (x % 2 == 0) {
+          b.add(id(x, y), id((x + 1) % side, (y + 1) % side));  // shear
+        }
+        if (y % 2 == 0) b.add(id(x, y), id(x, (y + 1) % side));
+        if (y % 2 == 1 && x % 2 == 0) b.add(id(x, (y + 1) % side), id(x, y));
+      }
+      if (x % 16 == 7 && rng.chance(0.5)) {
+        b.add(id(x, y), id(x, (y + side - 1) % side));  // mixing
+      }
+    }
+  }
+  return morton_relabel(b.build(directed_opts()), side);
+}
+
+Csr klein_bottle(u32 side, u64 seed) {
+  ECLP_CHECK(side >= 8);
+  Rng rng(seed);
+  const vidx n = side * side;
+  Builder b(n);
+  const auto id = [side](u32 x, u32 y) { return y * side + x; };
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      b.add(id(x, y), id((x + 1) % side, y));  // rows are cycles
+      if (rng.chance(0.1)) b.add(id(x, y), id((x + 2) % side, y));  // skip arc
+      // Sparse forward diagonals thicken the sweep (Table 1: d-avg 2.24).
+      if (x % 4 == 0 && y + 1 < side) {
+        b.add(id(x, y), id((x + 1) % side, y + 1));
+      }
+      // Column arcs with the Klein twist at the wraparound seam.
+      if (x % 4 != 3) {
+        if (y + 1 < side) {
+          b.add(id(x, y), id(x, y + 1));
+        } else {
+          b.add(id(x, y), id(side - 1 - x, 0));  // twisted identification
+        }
+      }
+      // Sparse upward return arcs close column cycles through the twist.
+      if (y % 8 == 1 && x % 4 == 1 && rng.chance(0.7)) {
+        b.add(id(x, y), id(x, (y + side - 1) % side));
+      }
+    }
+  }
+  return morton_relabel(b.build(directed_opts()), side);
+}
+
+}  // namespace eclp::gen

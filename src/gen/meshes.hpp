@@ -1,0 +1,41 @@
+// Directed mesh generators for ECL-SCC.
+//
+// The paper evaluates ECL-SCC only on mesh graphs (toroid-wedge, star,
+// toroid-hex, cold-flow, klein-bottle) because the algorithm was developed
+// for meshes. The original files are proprietary mesh dependence graphs; we
+// generate directed graphs with the same structural signature: vertex ids
+// follow a spatial numbering (so CSR-contiguous edge ranges are spatially
+// local, which is what makes signature propagation "largely localized within
+// thread blocks", paper §6.1.2), arcs follow sweep/flow directions, and
+// cycles of widely varying length produce non-trivial SCCs that take many
+// propagation iterations (n) and several prune rounds (m) to resolve.
+// Average/max degrees are tuned to Table 1's values.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace eclp::gen {
+
+/// Hub-and-petals cycle structure: one hub cycle, many petal cycles of
+/// varying length, one-way connector arcs hub -> petal. Nearly all vertices
+/// have in/out degree 1 (paper's star: d-avg 2.00, d-max 2).
+graph::Csr star_mesh(u32 petals, u32 avg_petal_len, u64 seed);
+
+/// Torus of directed row cycles with banded up/down vertical coupling and
+/// wedge diagonals (paper's toroid-wedge: d-avg 2.47, d-max 4).
+graph::Csr toroid_wedge(u32 side, u64 seed);
+
+/// Hexagonal-like torus sweep mesh (paper's toroid-hex: d-avg 2.98, d-max 4).
+graph::Csr toroid_hex(u32 side, u64 seed);
+
+/// Channel-flow mesh: arcs follow the flow (+x) with recirculation patches
+/// of reversed arcs and scattered vertical mixing (paper's cold-flow:
+/// d-avg 2.98, d-max 5).
+graph::Csr cold_flow(u32 side, u64 seed);
+
+/// Klein-bottle identification: torus in x; the y wraparound flips x
+/// (paper's klein-bottle: d-avg 2.24, d-max 4).
+graph::Csr klein_bottle(u32 side, u64 seed);
+
+}  // namespace eclp::gen

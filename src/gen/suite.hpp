@@ -1,0 +1,48 @@
+// The input suite mirroring the paper's Table 1.
+//
+// Every entry names one of the paper's inputs and provides (a) the values
+// Table 1 reports for the original file and (b) a generator producing a
+// scaled-down synthetic stand-in of the same structural class (see
+// generators.hpp / meshes.hpp for why each class preserves the profiled
+// behaviour). Three scales are provided: kDefault for the bench harness,
+// kSmall for quick runs, kTiny for unit tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eclp::gen {
+
+enum class Scale : u8 { kTiny = 0, kSmall = 1, kDefault = 2 };
+
+/// Parse "tiny"/"small"/"default" (used by bench --scale flags).
+Scale parse_scale(const std::string& s);
+
+/// The row Table 1 reports for the original input file.
+struct PaperRow {
+  u64 edges = 0;
+  u64 vertices = 0;
+  std::string type;
+  double d_avg = 0.0;
+  double d_max = 0.0;
+};
+
+struct InputSpec {
+  std::string name;       ///< the paper's input name (e.g. "europe_osm")
+  PaperRow paper;         ///< Table 1 values for the original file
+  bool directed = false;  ///< true for the SCC meshes
+  std::function<graph::Csr(Scale)> make;
+};
+
+/// The 17 general inputs (upper block of Table 1): MIS, CC, MST, GC.
+const std::vector<InputSpec>& general_inputs();
+/// The 5 directed meshes (lower block of Table 1): SCC.
+const std::vector<InputSpec>& mesh_inputs();
+
+/// Look up any input by name across both blocks. Throws if unknown.
+const InputSpec& find_input(const std::string& name);
+
+}  // namespace eclp::gen

@@ -1,0 +1,70 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace eclp::graph {
+
+void Builder::add(vidx src, vidx dst, weight_t w) {
+  ECLP_CHECK_MSG(src < num_vertices_ && dst < num_vertices_,
+                 "edge (" << src << "," << dst << ") out of range, n="
+                          << num_vertices_);
+  edges_.push_back({src, dst, w});
+}
+
+Csr Builder::build(const BuildOptions& opt) {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+
+  if (opt.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (!opt.directed) {
+    const usize n = edges.size();
+    edges.reserve(n * 2);
+    for (usize i = 0; i < n; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src, edges[i].w});
+    }
+  }
+
+  // Sort by (src, dst) so CSR assembly is a linear sweep and adjacency comes
+  // out sorted; a stable sort keeps the first-inserted weight for dupes.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+
+  if (opt.dedupe) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<eidx> offsets(static_cast<usize>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges) offsets[e.src + 1]++;
+  for (usize v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+
+  std::vector<vidx> targets(edges.size());
+  std::vector<weight_t> weights;
+  if (opt.weighted) weights.resize(edges.size());
+  // Edges are already grouped and ordered by src, so a direct copy keeps
+  // adjacency sorted when requested.
+  for (usize i = 0; i < edges.size(); ++i) {
+    targets[i] = edges[i].dst;
+    if (opt.weighted) weights[i] = edges[i].w;
+  }
+  return Csr::from_parts(num_vertices_, std::move(offsets),
+                         std::move(targets), std::move(weights),
+                         opt.directed);
+}
+
+Csr from_edges(vidx num_vertices, const std::vector<Edge>& edges,
+               const BuildOptions& opt) {
+  Builder b(num_vertices);
+  b.reserve(edges.size());
+  for (const Edge& e : edges) b.add(e.src, e.dst, e.w);
+  return b.build(opt);
+}
+
+}  // namespace eclp::graph

@@ -1,0 +1,69 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace eclp::graph {
+
+Csr Csr::from_parts(vidx num_vertices, std::vector<eidx> row_offsets,
+                    std::vector<vidx> col_indices,
+                    std::vector<weight_t> weights, bool directed) {
+  ECLP_CHECK_MSG(row_offsets.size() == static_cast<usize>(num_vertices) + 1,
+                 "row_offsets size " << row_offsets.size() << " != n+1 = "
+                                     << num_vertices + 1);
+  ECLP_CHECK(row_offsets.front() == 0);
+  ECLP_CHECK(row_offsets.back() == col_indices.size());
+  ECLP_CHECK(weights.empty() || weights.size() == col_indices.size());
+  Csr g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = directed;
+  g.row_offsets_ = std::move(row_offsets);
+  g.col_indices_ = std::move(col_indices);
+  g.weights_ = std::move(weights);
+  return g;
+}
+
+void Csr::validate() const {
+  ECLP_CHECK(row_offsets_.size() == static_cast<usize>(num_vertices_) + 1);
+  ECLP_CHECK(row_offsets_.front() == 0);
+  ECLP_CHECK(row_offsets_.back() == col_indices_.size());
+  for (vidx v = 0; v < num_vertices_; ++v) {
+    ECLP_CHECK_MSG(row_offsets_[v] <= row_offsets_[v + 1],
+                   "offsets not monotone at vertex " << v);
+  }
+  for (const vidx t : col_indices_) {
+    ECLP_CHECK_MSG(t < num_vertices_, "edge target " << t << " out of range");
+  }
+  if (!directed_) {
+    // Symmetry: every arc u->v must have a matching v->u. Count-based check
+    // is insufficient (multi-edges), so do a per-arc binary search when
+    // adjacency is sorted, else a linear scan.
+    for (vidx u = 0; u < num_vertices_; ++u) {
+      for (const vidx v : neighbors(u)) {
+        const auto nb = neighbors(v);
+        const bool found =
+            std::is_sorted(nb.begin(), nb.end())
+                ? std::binary_search(nb.begin(), nb.end(), u)
+                : std::find(nb.begin(), nb.end(), u) != nb.end();
+        ECLP_CHECK_MSG(found, "undirected graph missing reverse arc " << v
+                                                                      << "->"
+                                                                      << u);
+      }
+    }
+  }
+}
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats s;
+  if (g.num_vertices() == 0) return s;
+  s.min = g.degree(0);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const vidx d = g.degree(v);
+    s.max = std::max(s.max, d);
+    s.min = std::min(s.min, d);
+  }
+  s.avg = static_cast<double>(g.num_edges()) /
+          static_cast<double>(g.num_vertices());
+  return s;
+}
+
+}  // namespace eclp::graph

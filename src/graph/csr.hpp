@@ -1,0 +1,94 @@
+// Compressed-sparse-row graph representation.
+//
+// This mirrors the representation used by the ECL suite (and the paper's
+// Section 5.2): vertices are 0..n-1, `row_offsets` has n+1 entries, and
+// `col_indices[row_offsets[v] .. row_offsets[v+1])` are v's neighbors.
+// Undirected graphs store each edge twice (u->v and v->u), so num_edges()
+// matches the edge counts reported in the paper's Table 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace eclp::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Assemble a graph from raw CSR arrays.
+  /// `weights` may be empty (unweighted) or match `col_indices` in size.
+  /// `directed` records the intent; undirected graphs must be symmetric
+  /// (validate() checks this).
+  static Csr from_parts(vidx num_vertices, std::vector<eidx> row_offsets,
+                        std::vector<vidx> col_indices,
+                        std::vector<weight_t> weights = {},
+                        bool directed = false);
+
+  vidx num_vertices() const { return num_vertices_; }
+  /// Number of stored (directed) edge slots. For undirected graphs this is
+  /// twice the number of undirected edges, matching Table 1 in the paper.
+  eidx num_edges() const { return static_cast<eidx>(col_indices_.size()); }
+
+  bool directed() const { return directed_; }
+  bool weighted() const { return !weights_.empty(); }
+
+  vidx degree(vidx v) const {
+    ECLP_CHECK(v < num_vertices_);
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+
+  /// Neighbors of v, in adjacency-list order.
+  std::span<const vidx> neighbors(vidx v) const {
+    ECLP_CHECK(v < num_vertices_);
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+
+  /// Weights parallel to neighbors(v). Only valid when weighted().
+  std::span<const weight_t> weights_of(vidx v) const {
+    ECLP_CHECK(weighted());
+    ECLP_CHECK(v < num_vertices_);
+    return {weights_.data() + row_offsets_[v],
+            weights_.data() + row_offsets_[v + 1]};
+  }
+
+  std::span<const eidx> row_offsets() const { return row_offsets_; }
+  std::span<const vidx> col_indices() const { return col_indices_; }
+  std::span<const weight_t> weights() const { return weights_; }
+
+  /// First edge slot of v (used by edge-centric kernels).
+  eidx edge_begin(vidx v) const { return row_offsets_[v]; }
+  eidx edge_end(vidx v) const { return row_offsets_[v + 1]; }
+  vidx edge_target(eidx e) const { return col_indices_[e]; }
+  weight_t edge_weight(eidx e) const {
+    ECLP_CHECK(weighted());
+    return weights_[e];
+  }
+
+  /// Check structural invariants: monotone offsets, in-range targets,
+  /// symmetry when undirected. Throws CheckFailure on violation.
+  void validate() const;
+
+  bool operator==(const Csr& other) const = default;
+
+ private:
+  vidx num_vertices_ = 0;
+  bool directed_ = false;
+  std::vector<eidx> row_offsets_ = {0};
+  std::vector<vidx> col_indices_;
+  std::vector<weight_t> weights_;
+};
+
+/// Basic degree statistics as reported in the paper's Table 1.
+struct DegreeStats {
+  double avg = 0.0;
+  vidx max = 0;
+  vidx min = 0;
+};
+DegreeStats degree_stats(const Csr& g);
+
+}  // namespace eclp::graph

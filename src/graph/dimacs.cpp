@@ -1,0 +1,125 @@
+#include "graph/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace eclp::graph {
+
+namespace {
+
+struct Header {
+  std::string kind;
+  u64 vertices = 0;
+  u64 edges = 0;
+};
+
+/// Skip "c" comment lines and parse the "p <kind> n m" line.
+Header read_header(std::istream& is, const std::string& expected_kind) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    ECLP_CHECK_MSG(line[0] == 'p', "dimacs: expected 'p' line, got: " << line);
+    std::istringstream ls(line);
+    char p = 0;
+    Header h;
+    ls >> p >> h.kind >> h.vertices >> h.edges;
+    ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs: malformed 'p' line");
+    ECLP_CHECK_MSG(h.kind == expected_kind,
+                   "dimacs: expected 'p " << expected_kind << "', got 'p "
+                                          << h.kind << "'");
+    ECLP_CHECK_MSG(h.vertices < kNoVertex, "dimacs: too many vertices");
+    return h;
+  }
+  ECLP_CHECK_MSG(false, "dimacs: missing 'p' line");
+  return {};
+}
+
+}  // namespace
+
+Csr read_dimacs_sp(std::istream& is, bool symmetrize) {
+  const Header h = read_header(is, "sp");
+  Builder b(static_cast<vidx>(h.vertices));
+  b.reserve(h.edges);
+  std::string line;
+  u64 arcs = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    ECLP_CHECK_MSG(line[0] == 'a', "dimacs sp: expected 'a' line: " << line);
+    std::istringstream ls(line);
+    char a = 0;
+    u64 u = 0, v = 0, w = 0;
+    ls >> a >> u >> v >> w;
+    ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs sp: malformed arc: " << line);
+    ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
+                   "dimacs sp: arc endpoint out of range: " << line);
+    b.add(static_cast<vidx>(u - 1), static_cast<vidx>(v - 1),
+          static_cast<weight_t>(w));
+    ++arcs;
+  }
+  ECLP_CHECK_MSG(arcs == h.edges, "dimacs sp: header promised "
+                                      << h.edges << " arcs, file had "
+                                      << arcs);
+  BuildOptions opt;
+  opt.directed = !symmetrize;
+  opt.weighted = true;
+  return b.build(opt);
+}
+
+void write_dimacs_sp(const Csr& g, std::ostream& os) {
+  ECLP_CHECK_MSG(g.weighted(), "dimacs sp: graph needs weights");
+  os << "c written by ecl-profile\n";
+  os << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights_of(u);
+    for (usize i = 0; i < nbrs.size(); ++i) {
+      os << "a " << (u + 1) << ' ' << (nbrs[i] + 1) << ' ' << ws[i] << '\n';
+    }
+  }
+  ECLP_CHECK_MSG(os.good(), "dimacs sp: write failed");
+}
+
+Csr read_dimacs_col(std::istream& is) {
+  const Header h = read_header(is, "edge");
+  Builder b(static_cast<vidx>(h.vertices));
+  b.reserve(h.edges);
+  std::string line;
+  u64 edges = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    ECLP_CHECK_MSG(line[0] == 'e', "dimacs col: expected 'e' line: " << line);
+    std::istringstream ls(line);
+    char e = 0;
+    u64 u = 0, v = 0;
+    ls >> e >> u >> v;
+    ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs col: malformed edge: "
+                                              << line);
+    ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
+                   "dimacs col: endpoint out of range: " << line);
+    b.add(static_cast<vidx>(u - 1), static_cast<vidx>(v - 1));
+    ++edges;
+  }
+  ECLP_CHECK_MSG(edges == h.edges, "dimacs col: header promised "
+                                       << h.edges << " edges, file had "
+                                       << edges);
+  return b.build();
+}
+
+void write_dimacs_col(const Csr& g, std::ostream& os) {
+  ECLP_CHECK_MSG(!g.directed(), "dimacs col: graph must be undirected");
+  os << "c written by ecl-profile\n";
+  os << "p edge " << g.num_vertices() << ' ' << g.num_edges() / 2 << '\n';
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    for (const vidx v : g.neighbors(u)) {
+      if (v < u) continue;  // each edge once
+      os << "e " << (u + 1) << ' ' << (v + 1) << '\n';
+    }
+  }
+  ECLP_CHECK_MSG(os.good(), "dimacs col: write failed");
+}
+
+}  // namespace eclp::graph

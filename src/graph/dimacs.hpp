@@ -1,0 +1,26 @@
+// DIMACS graph formats.
+//
+// Two dialects are supported:
+//  * the 9th DIMACS Implementation Challenge shortest-path format (".gr":
+//    "p sp n m" header, "a u v w" arc lines, 1-based) — the format the
+//    paper's USA-road-d.* inputs ship in;
+//  * the DIMACS clique/coloring format (".col": "p edge n m" header,
+//    "e u v" edge lines, 1-based), read as an undirected graph.
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/csr.hpp"
+
+namespace eclp::graph {
+
+/// Read a ".gr" shortest-path file. Arcs keep their direction unless
+/// `symmetrize` is set (road networks list both directions already).
+Csr read_dimacs_sp(std::istream& is, bool symmetrize = false);
+void write_dimacs_sp(const Csr& g, std::ostream& os);
+
+/// Read a ".col" edge-format file (always undirected, unweighted).
+Csr read_dimacs_col(std::istream& is);
+void write_dimacs_col(const Csr& g, std::ostream& os);
+
+}  // namespace eclp::graph

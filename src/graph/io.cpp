@@ -1,0 +1,253 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/dimacs.hpp"
+
+namespace eclp::graph {
+
+namespace {
+
+constexpr u64 kMagic = 0x45434c5047525048ULL;  // "ECLPGRPH"
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  ECLP_CHECK_MSG(is.good(), "binary graph: truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, std::span<const T> v) {
+  write_pod<u64>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const u64 n = read_pod<u64>(is);
+  ECLP_CHECK_MSG(n < (1ULL << 33), "binary graph: implausible array size");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  ECLP_CHECK_MSG(is.good(), "binary graph: truncated array");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(const Csr& g, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<u8>(os, g.directed() ? 1 : 0);
+  write_pod<u8>(os, g.weighted() ? 1 : 0);
+  write_pod<u32>(os, g.num_vertices());
+  write_vec(os, g.row_offsets());
+  write_vec(os, g.col_indices());
+  if (g.weighted()) write_vec(os, g.weights());
+  ECLP_CHECK_MSG(os.good(), "binary graph: write failed");
+}
+
+Csr read_binary(std::istream& is) {
+  ECLP_CHECK_MSG(read_pod<u64>(is) == kMagic, "binary graph: bad magic");
+  ECLP_CHECK_MSG(read_pod<u32>(is) == kVersion, "binary graph: bad version");
+  const bool directed = read_pod<u8>(is) != 0;
+  const bool weighted = read_pod<u8>(is) != 0;
+  const u32 n = read_pod<u32>(is);
+  auto offsets = read_vec<eidx>(is);
+  auto targets = read_vec<vidx>(is);
+  std::vector<weight_t> weights;
+  if (weighted) weights = read_vec<weight_t>(is);
+  return Csr::from_parts(n, std::move(offsets), std::move(targets),
+                         std::move(weights), directed);
+}
+
+void save_binary(const Csr& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  ECLP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_binary(g, os);
+}
+
+Csr load_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ECLP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return read_binary(is);
+}
+
+void write_matrix_market(const Csr& g, std::ostream& os) {
+  const bool sym = !g.directed();
+  os << "%%MatrixMarket matrix coordinate "
+     << (g.weighted() ? "integer" : "pattern") << ' '
+     << (sym ? "symmetric" : "general") << '\n';
+  // Count emitted entries first (symmetric stores the lower triangle only).
+  u64 entries = 0;
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    for (const vidx v : g.neighbors(u)) {
+      if (!sym || v <= u) ++entries;
+    }
+  }
+  os << g.num_vertices() << ' ' << g.num_vertices() << ' ' << entries << '\n';
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (usize i = 0; i < nbrs.size(); ++i) {
+      const vidx v = nbrs[i];
+      if (sym && v > u) continue;
+      os << (u + 1) << ' ' << (v + 1);
+      if (g.weighted()) os << ' ' << g.weights_of(u)[i];
+      os << '\n';
+    }
+  }
+  ECLP_CHECK_MSG(os.good(), "matrix market: write failed");
+}
+
+Csr read_matrix_market(std::istream& is) {
+  std::string line;
+  ECLP_CHECK_MSG(std::getline(is, line), "matrix market: empty stream");
+  std::istringstream head(line);
+  std::string banner, object, format, field, symmetry;
+  head >> banner >> object >> format >> field >> symmetry;
+  ECLP_CHECK_MSG(banner == "%%MatrixMarket", "matrix market: bad banner");
+  ECLP_CHECK_MSG(object == "matrix" && format == "coordinate",
+                 "matrix market: only coordinate matrices supported");
+  const bool weighted = field == "integer" || field == "real";
+  ECLP_CHECK_MSG(weighted || field == "pattern",
+                 "matrix market: unsupported field " << field);
+  const bool symmetric = symmetry == "symmetric";
+  ECLP_CHECK_MSG(symmetric || symmetry == "general",
+                 "matrix market: unsupported symmetry " << symmetry);
+
+  // Skip comments, then read the size line.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  u64 rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  ECLP_CHECK_MSG(rows == cols, "matrix market: matrix must be square");
+  ECLP_CHECK_MSG(rows < kNoVertex, "matrix market: too many vertices");
+
+  Builder b(static_cast<vidx>(rows));
+  b.reserve(entries * (symmetric ? 2 : 1));
+  for (u64 k = 0; k < entries; ++k) {
+    ECLP_CHECK_MSG(std::getline(is, line), "matrix market: truncated");
+    std::istringstream entry(line);
+    u64 r = 0, c = 0;
+    double w = 0.0;
+    entry >> r >> c;
+    if (weighted) entry >> w;
+    ECLP_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                   "matrix market: index out of range at entry " << k);
+    b.add(static_cast<vidx>(r - 1), static_cast<vidx>(c - 1),
+          static_cast<weight_t>(w));
+  }
+  BuildOptions opt;
+  opt.directed = !symmetric;
+  opt.weighted = weighted;
+  return b.build(opt);
+}
+
+Csr read_edge_list(std::istream& is, bool directed, vidx num_vertices) {
+  std::vector<Edge> edges;
+  vidx max_id = 0;
+  bool weighted = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    u64 u = 0, v = 0, w = 0;
+    ECLP_CHECK_MSG(static_cast<bool>(ls >> u >> v),
+                   "edge list: malformed line: " << line);
+    if (ls >> w) weighted = true;
+    ECLP_CHECK_MSG(u < kNoVertex && v < kNoVertex, "edge list: id too large");
+    max_id = std::max({max_id, static_cast<vidx>(u), static_cast<vidx>(v)});
+    edges.push_back({static_cast<vidx>(u), static_cast<vidx>(v),
+                     static_cast<weight_t>(w)});
+  }
+  const vidx n =
+      num_vertices > 0 ? num_vertices : (edges.empty() ? 0 : max_id + 1);
+  ECLP_CHECK_MSG(n > max_id || edges.empty(),
+                 "edge list: forced vertex count too small");
+  BuildOptions opt;
+  opt.directed = directed;
+  opt.weighted = weighted;
+  return from_edges(n, edges, opt);
+}
+
+namespace {
+
+std::string extension_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  ECLP_CHECK_MSG(dot != std::string::npos && dot + 1 < path.size(),
+                 "no file extension on '" << path << "'");
+  return path.substr(dot + 1);
+}
+
+}  // namespace
+
+Csr load_any(const std::string& path, bool directed) {
+  const std::string ext = extension_of(path);
+  if (ext == "eclg") return load_binary(path);
+  std::ifstream is(path);
+  ECLP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  if (ext == "mtx") return read_matrix_market(is);
+  if (ext == "gr") return read_dimacs_sp(is);
+  if (ext == "col") return read_dimacs_col(is);
+  if (ext == "el" || ext == "txt") return read_edge_list(is, directed);
+  ECLP_CHECK_MSG(false, "unknown graph format '." << ext << "' ("
+                        << "known: eclg, mtx, gr, col, el, txt)");
+  return {};
+}
+
+void save_any(const Csr& g, const std::string& path) {
+  const std::string ext = extension_of(path);
+  if (ext == "eclg") {
+    save_binary(g, path);
+    return;
+  }
+  std::ofstream os(path);
+  ECLP_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  if (ext == "mtx") {
+    write_matrix_market(g, os);
+  } else if (ext == "gr") {
+    write_dimacs_sp(g, os);
+  } else if (ext == "col") {
+    write_dimacs_col(g, os);
+  } else if (ext == "el" || ext == "txt") {
+    write_edge_list(g, os);
+  } else {
+    ECLP_CHECK_MSG(false, "unknown graph format '." << ext << "'");
+  }
+}
+
+void write_edge_list(const Csr& g, std::ostream& os) {
+  os << "# vertices " << g.num_vertices() << " edges " << g.num_edges()
+     << (g.directed() ? " directed" : " undirected") << '\n';
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (usize i = 0; i < nbrs.size(); ++i) {
+      const vidx v = nbrs[i];
+      if (!g.directed() && v < u) continue;  // emit each edge once
+      os << u << ' ' << v;
+      if (g.weighted()) os << ' ' << g.weights_of(u)[i];
+      os << '\n';
+    }
+  }
+  ECLP_CHECK_MSG(os.good(), "edge list: write failed");
+}
+
+}  // namespace eclp::graph

@@ -1,0 +1,94 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace eclp::graph {
+
+std::vector<u32> bfs_distances(const Csr& g, vidx source) {
+  ECLP_CHECK(source < g.num_vertices());
+  std::vector<u32> dist(g.num_vertices(), kUnreachable);
+  std::queue<vidx> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const vidx u = frontier.front();
+    frontier.pop();
+    for (const vidx v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<vidx> connected_component_labels(const Csr& g) {
+  std::vector<vidx> label(g.num_vertices(), kNoVertex);
+  std::vector<vidx> stack;
+  for (vidx s = 0; s < g.num_vertices(); ++s) {
+    if (label[s] != kNoVertex) continue;
+    label[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vidx u = stack.back();
+      stack.pop_back();
+      for (const vidx v : g.neighbors(u)) {
+        if (label[v] == kNoVertex) {
+          label[v] = s;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+usize count_components(const Csr& g) {
+  const auto labels = connected_component_labels(g);
+  usize count = 0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+u32 estimate_diameter(const Csr& g) {
+  if (g.num_vertices() == 0) return 0;
+  // First sweep from vertex 0 finds a far vertex; second sweep from there
+  // gives a diameter lower bound.
+  auto far_vertex = [&](vidx from) {
+    const auto dist = bfs_distances(g, from);
+    vidx best = from;
+    u32 best_d = 0;
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best_d) {
+        best_d = dist[v];
+        best = v;
+      }
+    }
+    return std::pair{best, best_d};
+  };
+  const auto [mid, d1] = far_vertex(0);
+  const auto [end, d2] = far_vertex(mid);
+  (void)end;
+  return std::max(d1, d2);
+}
+
+bool is_connected(const Csr& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](u32 d) { return d == kUnreachable; });
+}
+
+std::vector<u64> degree_histogram(const Csr& g, vidx max_degree) {
+  std::vector<u64> hist(static_cast<usize>(max_degree) + 1, 0);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    hist[std::min(g.degree(v), max_degree)]++;
+  }
+  return hist;
+}
+
+}  // namespace eclp::graph

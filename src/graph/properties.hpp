@@ -1,0 +1,35 @@
+// Graph property queries used by generators, verifiers, and Table 1.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eclp::graph {
+
+/// BFS from `source`; returns the hop distance per vertex (kNoVertex-sized
+/// value u32 max for unreachable vertices).
+std::vector<u32> bfs_distances(const Csr& g, vidx source);
+inline constexpr u32 kUnreachable = static_cast<u32>(-1);
+
+/// Connected-component label per vertex for an undirected graph, via
+/// sequential BFS sweeps. Labels are the smallest vertex id in the component.
+std::vector<vidx> connected_component_labels(const Csr& g);
+
+/// Number of connected components (undirected).
+usize count_components(const Csr& g);
+
+/// Lower-bound diameter estimate by a double BFS sweep from a
+/// pseudo-peripheral vertex. Exact on trees; a good classifier of
+/// "road-network-like" (high diameter) vs. "power-law" (low diameter) inputs,
+/// which is what the paper's MIS analysis keys on.
+u32 estimate_diameter(const Csr& g);
+
+/// True if the undirected graph is connected.
+bool is_connected(const Csr& g);
+
+/// Degree histogram: hist[d] = number of vertices with degree d
+/// (capped at max_degree buckets; larger degrees land in the last bucket).
+std::vector<u64> degree_histogram(const Csr& g, vidx max_degree);
+
+}  // namespace eclp::graph

@@ -1,0 +1,110 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace eclp::graph {
+
+std::vector<vidx> order_by_degree_desc(const Csr& g) {
+  const vidx n = g.num_vertices();
+  std::vector<vidx> by_degree(n);
+  for (vidx v = 0; v < n; ++v) by_degree[v] = v;
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](vidx a, vidx b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  std::vector<vidx> perm(n);
+  for (vidx rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+std::vector<vidx> order_bfs(const Csr& g, vidx source) {
+  const vidx n = g.num_vertices();
+  ECLP_CHECK(source < n || n == 0);
+  std::vector<vidx> perm(n, kNoVertex);
+  vidx next_rank = 0;
+  std::queue<vidx> queue;
+  std::vector<vidx> nbrs;
+
+  const auto visit_from = [&](vidx start) {
+    perm[start] = next_rank++;
+    queue.push(start);
+    while (!queue.empty()) {
+      const vidx u = queue.front();
+      queue.pop();
+      // Cuthill-McKee: expand neighbors in ascending-degree order.
+      const auto adj = g.neighbors(u);
+      nbrs.assign(adj.begin(), adj.end());
+      std::stable_sort(nbrs.begin(), nbrs.end(), [&](vidx a, vidx b) {
+        return g.degree(a) < g.degree(b);
+      });
+      for (const vidx v : nbrs) {
+        if (perm[v] == kNoVertex) {
+          perm[v] = next_rank++;
+          queue.push(v);
+        }
+      }
+    }
+  };
+
+  if (n > 0) visit_from(source);
+  for (vidx v = 0; v < n; ++v) {
+    if (perm[v] == kNoVertex) visit_from(v);
+  }
+  return perm;
+}
+
+std::vector<vidx> order_random(const Csr& g, u64 seed) {
+  Rng rng(seed);
+  return rng.permutation(g.num_vertices());
+}
+
+std::vector<vidx> order_morton_grid(u32 side) {
+  const auto morton = [](u32 x, u32 y) {
+    u64 key = 0;
+    for (u32 bit = 0; bit < 32; ++bit) {
+      key |= (static_cast<u64>((x >> bit) & 1) << (2 * bit)) |
+             (static_cast<u64>((y >> bit) & 1) << (2 * bit + 1));
+    }
+    return key;
+  };
+  std::vector<std::pair<u64, vidx>> keyed;
+  keyed.reserve(static_cast<usize>(side) * side);
+  for (u32 y = 0; y < side; ++y) {
+    for (u32 x = 0; x < side; ++x) {
+      keyed.push_back({morton(x, y), y * side + x});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<vidx> perm(static_cast<usize>(side) * side);
+  for (vidx rank = 0; rank < keyed.size(); ++rank) {
+    perm[keyed[rank].second] = rank;
+  }
+  return perm;
+}
+
+double block_affinity(const Csr& g, vidx block_size) {
+  ECLP_CHECK(block_size > 0);
+  if (g.num_edges() == 0) return 1.0;
+  u64 inside = 0;
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    for (const vidx v : g.neighbors(u)) {
+      inside += (u / block_size == v / block_size);
+    }
+  }
+  return static_cast<double>(inside) / static_cast<double>(g.num_edges());
+}
+
+double locality_score(const Csr& g) {
+  if (g.num_edges() == 0 || g.num_vertices() == 0) return 0.0;
+  double total = 0.0;
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    for (const vidx v : g.neighbors(u)) {
+      total += std::abs(static_cast<double>(u) - static_cast<double>(v));
+    }
+  }
+  return total / static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_vertices());
+}
+
+}  // namespace eclp::graph

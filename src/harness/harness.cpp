@@ -1,0 +1,69 @@
+#include "harness/harness.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "support/stats.hpp"
+
+namespace eclp::harness {
+
+BenchContext parse(int argc, const char* const* argv,
+                   const std::string& description, Cli cli) {
+  BenchContext ctx;
+  ctx.cli = std::move(cli);
+  ctx.cli.add_option("scale", "input scale: tiny|small|default", "small");
+  ctx.cli.add_option("out", "directory for CSV copies", "bench_results");
+  ctx.cli.add_option("runs", "repetitions for median measurements", "3");
+  ctx.cli.add_flag("help", "show usage");
+  ctx.cli.parse(argc, argv);
+  if (ctx.cli.get_flag("help")) {
+    std::cout << description << "\n\n" << ctx.cli.usage(argv[0]);
+    std::exit(0);
+  }
+  ctx.scale = gen::parse_scale(ctx.cli.get("scale"));
+  ctx.out_dir = ctx.cli.get("out");
+  ctx.runs = static_cast<int>(ctx.cli.get_int("runs"));
+  ECLP_CHECK(ctx.runs >= 1);
+  std::cout << description << "  [scale=" << ctx.cli.get("scale")
+            << ", runs=" << ctx.runs << "]\n\n";
+  return ctx;
+}
+
+void emit(const BenchContext& ctx, const std::string& experiment_id,
+          const Table& table) {
+  std::cout << table.to_text() << '\n';
+  emit_raw(ctx, experiment_id + ".csv", table.to_csv());
+}
+
+void emit_raw(const BenchContext& ctx, const std::string& file_name,
+              const std::string& contents) {
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.out_dir, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create " << ctx.out_dir << ": "
+              << ec.message() << '\n';
+    return;
+  }
+  const auto path = std::filesystem::path(ctx.out_dir) / file_name;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  os << contents;
+}
+
+void report_correlation(const std::string& label,
+                        std::span<const double> xs,
+                        std::span<const double> ys) {
+  std::printf("correlation  %-52s r = %+.2f\n", label.c_str(),
+              stats::pearson(xs, ys));
+}
+
+sim::Device make_device(u64 seed, sim::ScheduleMode mode) {
+  return sim::Device(sim::CostModel{}, seed, mode);
+}
+
+}  // namespace eclp::harness

@@ -1,0 +1,52 @@
+// Shared plumbing for the bench binaries (one per paper table/figure).
+//
+// Every bench accepts:
+//   --scale=tiny|small|default   input size (default: small — the trends of
+//                                every table/figure already appear there;
+//                                "default" strengthens them at ~10x cost)
+//   --out=<dir>                  where CSV copies of each table are written
+//                                (default: bench_results)
+//   --runs=<k>                   repetitions for median-of-k measurements
+// and prints the reproduced table plus, where the paper quotes one, the
+// corresponding correlation coefficient.
+#pragma once
+
+#include <string>
+
+#include "gen/suite.hpp"
+#include "sim/device.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace eclp::harness {
+
+struct BenchContext {
+  gen::Scale scale = gen::Scale::kSmall;
+  std::string out_dir = "bench_results";
+  int runs = 3;
+  Cli cli;
+};
+
+/// Parse the standard bench flags (plus any extras already added to `cli`).
+BenchContext parse(int argc, const char* const* argv,
+                   const std::string& description, Cli cli = {});
+
+/// Print the table to stdout and drop a CSV copy in ctx.out_dir.
+void emit(const BenchContext& ctx, const std::string& experiment_id,
+          const Table& table);
+
+/// Write an arbitrary text artifact (e.g. a full per-block CSV series).
+void emit_raw(const BenchContext& ctx, const std::string& file_name,
+              const std::string& contents);
+
+/// Print a labelled correlation line (the r values the paper quotes inline).
+void report_correlation(const std::string& label,
+                        std::span<const double> xs,
+                        std::span<const double> ys);
+
+/// A device with the standard cost model; `seed` controls shuffled runs.
+sim::Device make_device(u64 seed = 0,
+                        sim::ScheduleMode mode =
+                            sim::ScheduleMode::kDeterministic);
+
+}  // namespace eclp::harness

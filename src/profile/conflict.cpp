@@ -1,0 +1,69 @@
+#include "profile/conflict.hpp"
+
+#include <algorithm>
+
+namespace eclp::profile {
+
+namespace {
+
+/// Sorted copy grouped by (loc, thread) with same-(loc,thread) dupes removed
+/// — a thread hammering one location multiple times is one participant.
+std::vector<std::pair<u64, u32>> normalized(
+    const std::vector<std::pair<u64, u32>>& events) {
+  auto v = events;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+usize ConflictTracker::attempting_threads() const {
+  std::vector<u32> threads;
+  threads.reserve(events_.size());
+  for (const auto& e : events_) threads.push_back(e.thread);
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+  return threads.size();
+}
+
+usize ConflictTracker::conflicting_threads() const {
+  std::vector<std::pair<u64, u32>> v;
+  v.reserve(events_.size());
+  for (const auto& e : events_) v.push_back({e.loc, e.thread});
+  v = normalized(v);
+
+  std::vector<u32> conflicted;
+  usize i = 0;
+  while (i < v.size()) {
+    usize j = i;
+    while (j < v.size() && v[j].first == v[i].first) ++j;
+    if (j - i >= 2) {
+      for (usize k = i; k < j; ++k) conflicted.push_back(v[k].second);
+    }
+    i = j;
+  }
+  std::sort(conflicted.begin(), conflicted.end());
+  conflicted.erase(std::unique(conflicted.begin(), conflicted.end()),
+                   conflicted.end());
+  return conflicted.size();
+}
+
+usize ConflictTracker::contended_locations() const {
+  std::vector<std::pair<u64, u32>> v;
+  v.reserve(events_.size());
+  for (const auto& e : events_) v.push_back({e.loc, e.thread});
+  v = normalized(v);
+
+  usize count = 0;
+  usize i = 0;
+  while (i < v.size()) {
+    usize j = i;
+    while (j < v.size() && v[j].first == v[i].first) ++j;
+    if (j - i >= 2) ++count;
+    i = j;
+  }
+  return count;
+}
+
+}  // namespace eclp::profile

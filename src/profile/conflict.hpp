@@ -1,0 +1,44 @@
+// Detection of conflicting atomic updates.
+//
+// The paper's Figure 2 reports, per ECL-MST iteration, "the percentage of
+// conflicting threads (attempting atomic updates to the same memory
+// location)". No profiler exposes that; it needs the algorithm-level mapping
+// from atomic operation to logical target. Kernels record
+// (location, thread) pairs during a launch; afterwards, every thread that
+// touched a location also touched by another thread counts as conflicting.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace eclp::profile {
+
+class ConflictTracker {
+ public:
+  /// Record that `thread` attempted an atomic on logical location `loc`.
+  void record(u64 loc, u32 thread) { events_.push_back({loc, thread}); }
+
+  usize num_events() const { return events_.size(); }
+
+  /// Distinct threads that attempted at least one atomic.
+  usize attempting_threads() const;
+
+  /// Distinct threads that attempted an atomic on a location another thread
+  /// also targeted.
+  usize conflicting_threads() const;
+
+  /// Distinct locations targeted by 2+ distinct threads.
+  usize contended_locations() const;
+
+  void reset() { events_.clear(); }
+
+ private:
+  struct Event {
+    u64 loc;
+    u32 thread;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace eclp::profile

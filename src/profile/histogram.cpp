@@ -1,0 +1,89 @@
+#include "profile/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace eclp::profile {
+
+namespace {
+
+usize bucket_of(u64 value) {
+  if (value == 0) return 0;
+  const usize b = static_cast<usize>(std::bit_width(value));  // >= 1
+  return std::min(b, Log2Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Log2Histogram::add(u64 value, u64 weight) {
+  buckets_[bucket_of(value)] += weight;
+}
+
+void Log2Histogram::add_all(std::span<const u64> values) {
+  for (const u64 v : values) add(v);
+}
+
+u64 Log2Histogram::total() const {
+  u64 t = 0;
+  for (const u64 b : buckets_) t += b;
+  return t;
+}
+
+usize Log2Histogram::quantile_bucket(double fraction) const {
+  ECLP_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const u64 t = total();
+  if (t == 0) return 0;
+  const double target = fraction * static_cast<double>(t);
+  u64 running = 0;
+  for (usize b = 0; b < kBuckets; ++b) {
+    running += buckets_[b];
+    if (static_cast<double>(running) >= target) return b;
+  }
+  return kBuckets - 1;
+}
+
+u64 Log2Histogram::bucket_floor(usize bucket) {
+  ECLP_CHECK(bucket < kBuckets);
+  if (bucket == 0) return 0;
+  return u64{1} << (bucket - 1);
+}
+
+std::string Log2Histogram::bucket_label(usize bucket) {
+  ECLP_CHECK(bucket < kBuckets);
+  if (bucket == 0) return "0";
+  if (bucket == 1) return "1";
+  const u64 lo = bucket_floor(bucket);
+  std::ostringstream os;
+  if (bucket == kBuckets - 1) {
+    os << '[' << lo << ",inf)";
+  } else {
+    os << '[' << lo << ',' << lo * 2 << ')';
+  }
+  return os.str();
+}
+
+Table Log2Histogram::to_table(const std::string& title) const {
+  Table t(title);
+  t.set_header({"value range", "count", "share", "bar"});
+  const u64 tot = total();
+  u64 peak = 0;
+  for (const u64 b : buckets_) peak = std::max(peak, b);
+  for (usize b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double share =
+        tot ? 100.0 * static_cast<double>(buckets_[b]) / static_cast<double>(tot)
+            : 0.0;
+    const usize bar_len =
+        peak ? static_cast<usize>(
+                   (buckets_[b] * 40 + peak - 1) / peak)
+             : 0;
+    t.add_row({bucket_label(b), fmt::grouped(buckets_[b]),
+               fmt::fixed(share, 1) + "%", std::string(bar_len, '#')});
+  }
+  return t;
+}
+
+}  // namespace eclp::profile

@@ -1,0 +1,46 @@
+// Log2-bucketed histograms of per-thread/per-vertex counter values.
+//
+// The paper's tables report Avg and Max, but its analysis repeatedly leans
+// on the *distribution* behind them ("traversals are either 1 or the full
+// degree", "most threads execute few iterations while some spin for
+// hundreds"). A log2 histogram captures exactly that shape at counter cost.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/types.hpp"
+
+namespace eclp::profile {
+
+class Log2Histogram {
+ public:
+  /// Buckets: [0], [1], [2,3], [4,7], ..., [2^(kBuckets-2), inf).
+  static constexpr usize kBuckets = 22;
+
+  void add(u64 value, u64 weight = 1);
+  /// Bucket a whole sample (e.g. a BucketCounter's values()).
+  void add_all(std::span<const u64> values);
+
+  u64 count(usize bucket) const { return buckets_.at(bucket); }
+  u64 total() const;
+  /// Index of the first bucket such that at least `fraction` of the mass is
+  /// at or below it (a coarse quantile).
+  usize quantile_bucket(double fraction) const;
+  /// Lower bound of a bucket's value range.
+  static u64 bucket_floor(usize bucket);
+  /// Human-readable bucket label, e.g. "[4,8)".
+  static std::string bucket_label(usize bucket);
+
+  void reset() { buckets_.assign(kBuckets, 0); }
+
+  /// Rows only for non-empty buckets; includes a text bar for quick reading.
+  Table to_table(const std::string& title) const;
+
+ private:
+  std::vector<u64> buckets_ = std::vector<u64>(kBuckets, 0);
+};
+
+}  // namespace eclp::profile

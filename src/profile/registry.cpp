@@ -1,0 +1,16 @@
+#include "profile/registry.hpp"
+
+namespace eclp::profile {
+
+Table CounterRegistry::report(const std::string& title) const {
+  Table t(title);
+  t.set_header({"counter", "kind", "total", "avg", "max"});
+  for (const auto& [name, c] : counters_) {
+    const auto s = c->summary();
+    t.add_row({name, c->kind(), fmt::grouped(c->total()),
+               fmt::fixed(s.mean, 2), fmt::fixed(s.max, 0)});
+  }
+  return t;
+}
+
+}  // namespace eclp::profile

@@ -1,0 +1,56 @@
+// Named ownership of profiling counters plus report generation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "profile/counters.hpp"
+#include "support/table.hpp"
+
+namespace eclp::profile {
+
+/// Owns a set of named counters. Algorithms create their counters here so
+/// benches/tests can enumerate and report them uniformly.
+class CounterRegistry {
+ public:
+  /// Create (or fetch, if already present with the same type) a counter.
+  template <typename C, typename... Args>
+  C& make(const std::string& name, Args&&... args) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      auto owned = std::make_unique<C>(std::forward<Args>(args)...);
+      C& ref = *owned;
+      counters_.emplace(name, std::move(owned));
+      return ref;
+    }
+    C* existing = dynamic_cast<C*>(it->second.get());
+    ECLP_CHECK_MSG(existing != nullptr,
+                   "counter '" << name << "' exists with a different type");
+    return *existing;
+  }
+
+  bool contains(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+
+  const Counter& get(const std::string& name) const {
+    auto it = counters_.find(name);
+    ECLP_CHECK_MSG(it != counters_.end(), "no counter named '" << name << "'");
+    return *it->second;
+  }
+
+  usize size() const { return counters_.size(); }
+
+  void reset_all() {
+    for (auto& [name, c] : counters_) c->reset();
+  }
+
+  /// One row per counter: name, kind, total, avg, max.
+  Table report(const std::string& title = "profiling counters") const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace eclp::profile

@@ -1,0 +1,82 @@
+#include "profile/series.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/stats.hpp"
+
+namespace eclp::profile {
+
+std::vector<double> IterationSeries::column(const std::string& name) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), name);
+  ECLP_CHECK_MSG(it != columns_.end(), "no series column '" << name << "'");
+  const usize c = static_cast<usize>(it - columns_.begin());
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[c]);
+  return out;
+}
+
+Table IterationSeries::to_table(const std::string& title, int digits) const {
+  Table t(title);
+  std::vector<std::string> header = {"iteration"};
+  header.insert(header.end(), columns_.begin(), columns_.end());
+  t.set_header(std::move(header));
+  for (usize i = 0; i < rows_.size(); ++i) {
+    std::vector<std::string> row = {labels_[i]};
+    for (const double v : rows_[i]) row.push_back(fmt::fixed(v, digits));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+const BlockSeries::Snapshot* BlockSeries::find(u32 outer, u64 inner) const {
+  for (const auto& s : snapshots_) {
+    if (s.outer == outer && s.inner == inner) return &s;
+  }
+  return nullptr;
+}
+
+u64 BlockSeries::max_inner(u32 outer) const {
+  u64 best = 0;
+  for (const auto& s : snapshots_) {
+    if (s.outer == outer) best = std::max(best, s.inner);
+  }
+  return best;
+}
+
+u32 BlockSeries::max_outer() const {
+  u32 best = 0;
+  for (const auto& s : snapshots_) best = std::max(best, s.outer);
+  return best;
+}
+
+Table BlockSeries::to_table(const std::string& title) const {
+  Table t(title);
+  t.set_header({"m", "n", "active blocks", "total blocks", "total updates",
+                "avg updates", "max updates"});
+  for (const auto& s : snapshots_) {
+    const auto sum = stats::summarize(std::span<const u64>(s.per_block));
+    const usize active = static_cast<usize>(std::count_if(
+        s.per_block.begin(), s.per_block.end(), [](u64 v) { return v > 0; }));
+    t.add_row({std::to_string(s.outer), std::to_string(s.inner),
+               std::to_string(active), std::to_string(s.per_block.size()),
+               fmt::grouped(static_cast<u64>(sum.total)),
+               fmt::fixed(sum.mean, 2), fmt::fixed(sum.max, 0)});
+  }
+  return t;
+}
+
+std::string BlockSeries::to_csv() const {
+  std::ostringstream os;
+  os << "outer,inner,block,updates\n";
+  for (const auto& s : snapshots_) {
+    for (usize b = 0; b < s.per_block.size(); ++b) {
+      os << s.outer << ',' << s.inner << ',' << b << ',' << s.per_block[b]
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace eclp::profile

@@ -1,0 +1,94 @@
+// Per-iteration metric recording for the paper's figures.
+//
+// IterationSeries captures named scalar metrics per kernel iteration — the
+// shape of Figure 2 (ECL-MST: % threads with work, % conflicts, % useless
+// atomics for each Regular/Filter iteration).
+//
+// BlockSeries captures a per-block value for each (outer m, inner n)
+// signature-propagation iteration — the shape of Figure 1 (ECL-SCC).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+#include "support/types.hpp"
+
+namespace eclp::profile {
+
+/// Fixed-column series of per-iteration metrics.
+class IterationSeries {
+ public:
+  explicit IterationSeries(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    ECLP_CHECK(!columns_.empty());
+  }
+
+  void add_row(std::string label, std::vector<double> values) {
+    ECLP_CHECK_MSG(values.size() == columns_.size(),
+                   "series row arity " << values.size() << " != "
+                                       << columns_.size());
+    labels_.push_back(std::move(label));
+    rows_.push_back(std::move(values));
+  }
+
+  usize rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& label(usize i) const { return labels_.at(i); }
+  std::span<const double> row(usize i) const { return rows_.at(i); }
+  double value(usize row, usize col) const { return rows_.at(row).at(col); }
+
+  /// Column by name across all rows (one figure line).
+  std::vector<double> column(const std::string& name) const;
+
+  Table to_table(const std::string& title, int digits = 2) const;
+  void clear() {
+    labels_.clear();
+    rows_.clear();
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Per-block snapshots keyed by (outer, inner) iteration counters.
+class BlockSeries {
+ public:
+  struct Snapshot {
+    u32 outer = 0;  ///< the paper's m
+    u64 inner = 0;  ///< the paper's n
+    std::vector<u64> per_block;
+  };
+
+  void record(u32 outer, u64 inner, std::vector<u64> per_block) {
+    snapshots_.push_back({outer, inner, std::move(per_block)});
+  }
+
+  std::span<const Snapshot> snapshots() const { return snapshots_; }
+  usize size() const { return snapshots_.size(); }
+
+  /// Find a snapshot; nullptr if absent.
+  const Snapshot* find(u32 outer, u64 inner) const;
+  /// Largest inner iteration recorded for a given outer iteration.
+  u64 max_inner(u32 outer) const;
+  /// Largest outer iteration recorded.
+  u32 max_outer() const;
+
+  /// Summary table: one row per snapshot with active-block count and
+  /// total/mean/max updates (the textual equivalent of Figure 1's panels).
+  Table to_table(const std::string& title) const;
+  /// Full CSV: outer,inner,block,value — one line per block per snapshot,
+  /// suitable for regenerating the figure with any plotting tool.
+  std::string to_csv() const;
+
+  void clear() { snapshots_.clear(); }
+
+ private:
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace eclp::profile

@@ -1,0 +1,87 @@
+// Cycle-cost model for the simulated GPU.
+//
+// The paper measures wall-clock speedups on an RTX 4090. Without a GPU we
+// replace time with a deterministic cycle model accumulated while kernels
+// execute on the simulator. Speedup tables (paper Tables 6-8) are ratios of
+// modeled cycles.
+//
+// The model is deliberately simple and fully documented so its assumptions
+// can be audited:
+//  * every thread op (ALU step, global load/store, atomic) charges a fixed
+//    cost to its thread;
+//  * threads of a block execute in parallel across `lanes_per_sm` lanes, so
+//    a block's compute time is ceil(block_work / lanes_per_sm);
+//  * block-wide synchronization (the __syncthreads-style inner loop used by
+//    ECL-SCC) charges every resident thread per round;
+//  * blocks are spread across `sm_count` SMs; a kernel's time is the fixed
+//    launch overhead plus the per-SM share of total block time;
+//  * host-side work (e.g. recomputing a launch configuration, paper §6.2.3)
+//    charges `host_op` per occurrence.
+//
+// These are the exact quantities the paper's three optimizations trade:
+// wasted traversal work (CC), idle threads kept alive by block sync (SCC),
+// and surplus blocks vs. host recomputation (MST).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace eclp::sim {
+
+struct CostModel {
+  // Per-thread operation costs (abstract cycles).
+  u64 alu = 1;            ///< one arithmetic/control step
+  u64 global_read = 4;    ///< scattered global-memory load
+  u64 global_write = 4;   ///< scattered global-memory store
+  u64 coalesced_read = 1;   ///< streaming load (offsets, own slot)
+  u64 coalesced_write = 1;  ///< streaming store (own slot)
+  u64 atomic = 12;        ///< any atomic RMW (success or not)
+  // Synchronization and launch costs.
+  u64 sync_per_thread = 2;   ///< per resident thread, per block-wide sync
+  u64 block_overhead = 32;   ///< fixed cost of scheduling one block
+  u64 launch_overhead = 1500;  ///< fixed cost of one kernel launch
+  u64 host_op = 800;         ///< one host-side bookkeeping operation
+  // Machine shape. The ratios are chosen so that, at the suite's scaled
+  // input sizes, per-thread work dominates launch overhead roughly the way
+  // multi-million-vertex inputs dominate microsecond launches on the RTX
+  // 4090 — otherwise every experiment would just measure launch counts.
+  u32 lanes_per_sm = 32;
+  u32 sm_count = 8;
+};
+
+/// Modeled execution time of one kernel launch, given per-block totals.
+/// The kernel time is the launch overhead plus the larger of
+///  * the throughput bound: total block time spread across the SMs, and
+///  * the critical path: the single slowest block — on the real GPU the
+///    grid is (nearly) fully resident, so one block grinding through many
+///    block-wide synchronization rounds holds the whole launch hostage.
+///    This term is what makes oversized thread blocks lose in the paper's
+///    Table 6.
+struct KernelCost {
+  u64 thread_work = 0;   ///< sum of all per-thread charged cycles
+  u64 sync_cost = 0;     ///< block synchronization charges
+  u64 block_time = 0;    ///< sum over blocks of per-block time
+  u64 max_block_time = 0;  ///< slowest single block (critical path)
+  u64 modeled_cycles = 0;  ///< final modeled kernel time
+  // The paper's §3.1 general metrics, collected automatically from the
+  // per-thread work accounting of every launch:
+  u32 active_threads = 0;  ///< threads that charged any work (§3.1.4)
+  u32 idle_threads = 0;    ///< threads that charged none (§3.1.3)
+  u64 max_thread_work = 0;  ///< heaviest thread (load balance, §3.1.1)
+
+  /// Load imbalance: heaviest thread over the mean of active threads
+  /// (1.0 = perfectly balanced).
+  double imbalance() const {
+    if (active_threads == 0 || thread_work == 0) return 1.0;
+    const double mean = static_cast<double>(thread_work) /
+                        static_cast<double>(active_threads);
+    return static_cast<double>(max_thread_work) / mean;
+  }
+  double active_fraction() const {
+    const u32 total = active_threads + idle_threads;
+    return total == 0 ? 0.0
+                      : static_cast<double>(active_threads) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace eclp::sim

@@ -1,0 +1,361 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eclp::sim {
+
+namespace {
+
+u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Device::Device(CostModel cost, u64 seed, ScheduleMode mode)
+    : cost_(cost), seed_(seed), mode_(mode), rng_(splitmix64(seed)) {
+  ECLP_CHECK(cost_.lanes_per_sm > 0);
+  ECLP_CHECK(cost_.sm_count > 0);
+}
+
+void Device::charge(u32 global_thread, u64 cycles) {
+  work_[global_thread] += cycles;
+}
+
+ThreadCtx Device::make_ctx(const LaunchConfig& cfg, u32 block, u32 thread) {
+  ThreadCtx ctx;
+  ctx.device_ = this;
+  ctx.block_ = block;
+  ctx.thread_ = thread;
+  ctx.global_ = block * cfg.threads_per_block + thread;
+  ctx.block_dim_ = cfg.threads_per_block;
+  ctx.grid_dim_ = cfg.blocks;
+  return ctx;
+}
+
+KernelCost Device::finalize_cost(const LaunchConfig& cfg,
+                                 std::span<const u64> thread_work,
+                                 std::span<const u64> block_sync) {
+  KernelCost kc;
+  u64 block_time_total = 0;
+  u64 max_block_time = 0;
+  for (u32 b = 0; b < cfg.blocks; ++b) {
+    u64 block_work = 0;
+    u64 block_max_thread = 0;
+    for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+      const u64 w = thread_work[b * cfg.threads_per_block + t];
+      block_work += w;
+      block_max_thread = std::max(block_max_thread, w);
+      if (w > 0) {
+        kc.active_threads++;
+      } else {
+        kc.idle_threads++;
+      }
+    }
+    kc.thread_work += block_work;
+    kc.max_thread_work = std::max(kc.max_thread_work, block_max_thread);
+    const u64 sync = block_sync.empty() ? 0 : block_sync[b];
+    kc.sync_cost += sync;
+    // A block is bounded by its lane throughput AND by its longest single
+    // thread — one thread's serial instruction stream cannot spread across
+    // lanes, which is why per-thread load balance (paper §3.1.1) matters.
+    const u64 block_time =
+        cost_.block_overhead +
+        std::max(ceil_div(block_work, cost_.lanes_per_sm), block_max_thread) +
+        sync;
+    block_time_total += block_time;
+    max_block_time = std::max(max_block_time, block_time);
+  }
+  kc.block_time = block_time_total;
+  kc.max_block_time = max_block_time;
+  // Throughput bound vs. critical path (see KernelCost).
+  kc.modeled_cycles =
+      cost_.launch_overhead +
+      std::max(ceil_div(block_time_total, cost_.sm_count), max_block_time);
+  total_cycles_ += kc.modeled_cycles;
+  ++launches_;
+  return kc;
+}
+
+KernelStats Device::launch(const std::string& name, LaunchConfig cfg,
+                           const std::function<void(ThreadCtx&)>& body) {
+  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+  const u64 atomics_before = atomics_.total();
+  work_.assign(cfg.total_threads(), 0);
+
+  if (mode_ == ScheduleMode::kDeterministic) {
+    for (u32 b = 0; b < cfg.blocks; ++b) {
+      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+        ThreadCtx ctx = make_ctx(cfg, b, t);
+        body(ctx);
+      }
+    }
+  } else {
+    // Shuffled run-to-completion: a seeded permutation of global thread ids.
+    auto order = rng_.permutation(cfg.total_threads());
+    for (const u32 gid : order) {
+      ThreadCtx ctx = make_ctx(cfg, gid / cfg.threads_per_block,
+                               gid % cfg.threads_per_block);
+      body(ctx);
+    }
+  }
+
+  KernelStats ks;
+  ks.name = name;
+  ks.config = cfg;
+  ks.cost = finalize_cost(cfg, work_, {});
+  record_trace(ks, atomics_before);
+  return ks;
+}
+
+KernelStats Device::launch_cooperative(
+    const std::string& name, LaunchConfig cfg,
+    const std::function<bool(ThreadCtx&)>& step,
+    const std::function<void(u64)>& on_round_end, u64 max_rounds) {
+  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+  const u64 atomics_before = atomics_.total();
+  work_.assign(cfg.total_threads(), 0);
+
+  std::vector<u32> alive(cfg.total_threads());
+  std::iota(alive.begin(), alive.end(), 0);
+
+  u64 rounds = 0;
+  while (!alive.empty()) {
+    ECLP_CHECK_MSG(rounds < max_rounds,
+                   "cooperative kernel '" << name << "' exceeded "
+                                          << max_rounds << " rounds");
+    ++rounds;
+    if (mode_ == ScheduleMode::kShuffled) rng_.shuffle(alive);
+    std::vector<u32> next;
+    next.reserve(alive.size());
+    for (const u32 gid : alive) {
+      ThreadCtx ctx = make_ctx(cfg, gid / cfg.threads_per_block,
+                               gid % cfg.threads_per_block);
+      if (!step(ctx)) next.push_back(gid);
+    }
+    alive = std::move(next);
+    if (on_round_end) on_round_end(rounds);
+  }
+
+  KernelStats ks;
+  ks.name = name;
+  ks.config = cfg;
+  ks.cooperative_rounds = rounds;
+  ks.cost = finalize_cost(cfg, work_, {});
+  record_trace(ks, atomics_before);
+  return ks;
+}
+
+KernelStats Device::launch_block_iterative(
+    const std::string& name, LaunchConfig cfg,
+    const std::function<bool(ThreadCtx&, u64)>& step, u64 max_inner) {
+  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+  const u64 atomics_before = atomics_.total();
+  work_.assign(cfg.total_threads(), 0);
+
+  std::vector<u64> block_iters(cfg.blocks, 0);
+  std::vector<u64> block_sync(cfg.blocks, 0);
+  for (u32 b = 0; b < cfg.blocks; ++b) {
+    bool block_updated = true;
+    u64 inner = 0;
+    while (block_updated) {
+      ECLP_CHECK_MSG(inner < max_inner,
+                     "block-iterative kernel '" << name << "' block " << b
+                                                << " exceeded " << max_inner
+                                                << " inner iterations");
+      ++inner;
+      block_updated = false;
+      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+        ThreadCtx ctx = make_ctx(cfg, b, t);
+        block_updated |= step(ctx, inner);
+      }
+      // Block-wide synchronization: every resident thread participates,
+      // active or not — this is the overhead the paper's §6.2.1 tunes away.
+      block_sync[b] +=
+          static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
+    }
+    block_iters[b] = inner;
+  }
+
+  KernelStats ks;
+  ks.name = name;
+  ks.config = cfg;
+  ks.block_inner_iterations = std::move(block_iters);
+  ks.cost = finalize_cost(cfg, work_, block_sync);
+  record_trace(ks, atomics_before);
+  return ks;
+}
+
+KernelStats Device::launch_block_jacobi(
+    const std::string& name, LaunchConfig cfg,
+    const std::function<void(ThreadCtx&, u64)>& step,
+    const std::function<bool(u32, u64)>& commit, u64 max_inner) {
+  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+  const u64 atomics_before = atomics_.total();
+  work_.assign(cfg.total_threads(), 0);
+
+  std::vector<u64> block_iters(cfg.blocks, 0);
+  std::vector<u64> block_sync(cfg.blocks, 0);
+  for (u32 b = 0; b < cfg.blocks; ++b) {
+    bool block_updated = true;
+    u64 inner = 0;
+    while (block_updated) {
+      ECLP_CHECK_MSG(inner < max_inner,
+                     "block-jacobi kernel '" << name << "' block " << b
+                                             << " exceeded " << max_inner
+                                             << " inner iterations");
+      ++inner;
+      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+        ThreadCtx ctx = make_ctx(cfg, b, t);
+        step(ctx, inner);
+      }
+      block_sync[b] +=
+          static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
+      block_updated = commit(b, inner);
+    }
+    block_iters[b] = inner;
+  }
+
+  KernelStats ks;
+  ks.name = name;
+  ks.config = cfg;
+  ks.block_inner_iterations = std::move(block_iters);
+  ks.cost = finalize_cost(cfg, work_, block_sync);
+  record_trace(ks, atomics_before);
+  return ks;
+}
+
+void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
+  if (trace_ == nullptr) return;
+  TraceEvent event;
+  event.sequence = launches_;
+  event.kernel = stats.name;
+  event.blocks = stats.config.blocks;
+  event.threads_per_block = stats.config.threads_per_block;
+  event.modeled_cycles = stats.cost.modeled_cycles;
+  event.cumulative_cycles = total_cycles_;
+  event.atomics_delta = atomics_.total() - atomics_before;
+  event.active_threads = stats.cost.active_threads;
+  event.idle_threads = stats.cost.idle_threads;
+  event.imbalance = stats.cost.imbalance();
+  trace_->record(std::move(event));
+}
+
+void Device::host_op(u64 count) { total_cycles_ += cost_.host_op * count; }
+
+// --- ThreadCtx ---------------------------------------------------------------
+
+void ThreadCtx::charge_alu(u64 n) { device_->charge(global_, n * device_->cost_.alu); }
+
+void ThreadCtx::charge_reads(u64 n) {
+  device_->charge(global_, n * device_->cost_.global_read);
+}
+
+void ThreadCtx::charge_writes(u64 n) {
+  device_->charge(global_, n * device_->cost_.global_write);
+}
+
+void ThreadCtx::charge_coalesced_reads(u64 n) {
+  device_->charge(global_, n * device_->cost_.coalesced_read);
+}
+
+void ThreadCtx::charge_coalesced_writes(u64 n) {
+  device_->charge(global_, n * device_->cost_.coalesced_write);
+}
+
+void ThreadCtx::charge_atomics(u64 n) {
+  device_->charge(global_, n * device_->cost_.atomic);
+}
+
+u32 ThreadCtx::atomic_cas(u32& loc, u32 expected, u32 desired) {
+  device_->charge(global_, device_->cost_.atomic);
+  const u32 old = loc;
+  if (old == expected) {
+    loc = desired;
+    device_->atomics_.record(AtomicOutcome::kCasSuccess);
+  } else {
+    device_->atomics_.record(AtomicOutcome::kCasFailure);
+  }
+  return old;
+}
+
+u64 ThreadCtx::atomic_cas(u64& loc, u64 expected, u64 desired) {
+  device_->charge(global_, device_->cost_.atomic);
+  const u64 old = loc;
+  if (old == expected) {
+    loc = desired;
+    device_->atomics_.record(AtomicOutcome::kCasSuccess);
+  } else {
+    device_->atomics_.record(AtomicOutcome::kCasFailure);
+  }
+  return old;
+}
+
+bool ThreadCtx::atomic_min(u32& loc, u32 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  if (value < loc) {
+    loc = value;
+    device_->atomics_.record(AtomicOutcome::kMinEffective);
+    return true;
+  }
+  device_->atomics_.record(AtomicOutcome::kMinIneffective);
+  return false;
+}
+
+bool ThreadCtx::atomic_max(u32& loc, u32 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  if (value > loc) {
+    loc = value;
+    device_->atomics_.record(AtomicOutcome::kMaxEffective);
+    return true;
+  }
+  device_->atomics_.record(AtomicOutcome::kMaxIneffective);
+  return false;
+}
+
+bool ThreadCtx::atomic_min(u64& loc, u64 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  if (value < loc) {
+    loc = value;
+    device_->atomics_.record(AtomicOutcome::kMinEffective);
+    return true;
+  }
+  device_->atomics_.record(AtomicOutcome::kMinIneffective);
+  return false;
+}
+
+bool ThreadCtx::atomic_max(u64& loc, u64 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  if (value > loc) {
+    loc = value;
+    device_->atomics_.record(AtomicOutcome::kMaxEffective);
+    return true;
+  }
+  device_->atomics_.record(AtomicOutcome::kMaxIneffective);
+  return false;
+}
+
+u32 ThreadCtx::atomic_add(u32& loc, u32 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  device_->atomics_.record(AtomicOutcome::kAdd);
+  const u32 old = loc;
+  loc = old + value;
+  return old;
+}
+
+u64 ThreadCtx::atomic_add(u64& loc, u64 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  device_->atomics_.record(AtomicOutcome::kAdd);
+  const u64 old = loc;
+  loc = old + value;
+  return old;
+}
+
+u8 ThreadCtx::atomic_exch(u8& loc, u8 value) {
+  device_->charge(global_, device_->cost_.atomic);
+  device_->atomics_.record(AtomicOutcome::kAdd);
+  const u8 old = loc;
+  loc = value;
+  return old;
+}
+
+}  // namespace eclp::sim

@@ -1,0 +1,236 @@
+// CUDA-like execution model, simulated.
+//
+// This is the substitution for the paper's RTX 4090 (see DESIGN.md §2). It
+// reproduces the parts of the CUDA execution model that the five ECL
+// algorithms and their counters depend on:
+//
+//  * a grid of `blocks` x `threads_per_block` threads with global ids,
+//  * instrumented atomics with outcome classification (atomics.hpp),
+//  * three launch disciplines:
+//      - launch():             every thread's body runs once to completion
+//                              (the common ECL kernel shape);
+//      - launch_cooperative(): threads repeatedly take *steps* until each
+//                              reports done; the scheduler interleaves steps
+//                              round-robin, optionally in a seeded shuffled
+//                              order. This models the asynchronous,
+//                              timing-dependent execution of ECL-MIS whose
+//                              run-to-run variation the paper's Table 3
+//                              studies;
+//      - launch_block_iterative(): each block repeats a thread-step sweep
+//                              followed by a block-wide vote until no thread
+//                              in the block updated — the __syncthreads
+//                              do-while structure of ECL-SCC's propagation
+//                              kernel (paper Figure 1);
+//  * a cycle cost model charged as threads execute (cost_model.hpp).
+//
+// Determinism: with ScheduleMode::kDeterministic every run is bit-identical.
+// With kShuffled, step order is a pure function of the device seed, so
+// "nondeterminism" is reproducible too — rerunning with the same seed gives
+// the same interleaving (the paper's Table 3 corresponds to three seeds).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/atomics.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+#include "support/types.hpp"
+
+namespace eclp::sim {
+
+struct LaunchConfig {
+  u32 blocks = 1;
+  u32 threads_per_block = 256;
+  u32 total_threads() const { return blocks * threads_per_block; }
+};
+
+/// Per-launch result: identification plus modeled cost and, for
+/// block-iterative kernels, per-block inner iteration counts.
+struct KernelStats {
+  std::string name;
+  LaunchConfig config;
+  KernelCost cost;
+  u64 cooperative_rounds = 0;             ///< launch_cooperative only
+  std::vector<u64> block_inner_iterations;  ///< launch_block_iterative only
+};
+
+enum class ScheduleMode : u8 {
+  kDeterministic,  ///< threads step in id order
+  kShuffled,       ///< step order reshuffled every round from the device seed
+};
+
+class Device;
+
+/// Handle passed to kernel bodies; identifies the thread and provides
+/// instrumented operations that charge the cost model.
+class ThreadCtx {
+ public:
+  u32 block_idx() const { return block_; }
+  u32 thread_idx() const { return thread_; }
+  u32 global_id() const { return global_; }
+  u32 block_dim() const { return block_dim_; }
+  u32 grid_dim() const { return grid_dim_; }
+  /// Total threads in the grid (for grid-stride loops).
+  u32 grid_size() const { return block_dim_ * grid_dim_; }
+
+  // --- instrumented memory operations -------------------------------------
+  /// Global-memory load of `loc` (charges cost, returns the value).
+  template <typename T>
+  T load(const T& loc);
+  /// Global-memory store (charges cost).
+  template <typename T>
+  void store(T& loc, T value);
+  /// Charge `n` ALU steps (loop control, comparisons, hashing...).
+  void charge_alu(u64 n = 1);
+  /// Charge `n` plain global reads without going through load() — for bulk
+  /// scans where the value flow is clearer with direct indexing.
+  void charge_reads(u64 n);
+  void charge_writes(u64 n);
+  /// Coalesced (streaming) accesses: consecutive threads touch consecutive
+  /// addresses — row offsets, a thread's own output slot. Much cheaper than
+  /// the scattered accesses of adjacency chasing.
+  void charge_coalesced_reads(u64 n);
+  void charge_coalesced_writes(u64 n);
+  /// Charge the cost of `n` atomic operations whose effect is applied
+  /// elsewhere (the buffered-intent pattern of launch_block_jacobi).
+  void charge_atomics(u64 n);
+
+  // --- instrumented atomics ------------------------------------------------
+  /// atomicCAS: returns the old value; outcome recorded.
+  u32 atomic_cas(u32& loc, u32 expected, u32 desired);
+  u64 atomic_cas(u64& loc, u64 expected, u64 desired);
+  /// atomicMin/Max: returns true when the operation changed the target.
+  bool atomic_min(u32& loc, u32 value);
+  bool atomic_max(u32& loc, u32 value);
+  bool atomic_min(u64& loc, u64 value);
+  bool atomic_max(u64& loc, u64 value);
+  /// atomicAdd: returns the previous value.
+  u32 atomic_add(u32& loc, u32 value);
+  u64 atomic_add(u64& loc, u64 value);
+  /// atomicExch on a byte (ECL-MIS status updates are single-byte stores).
+  u8 atomic_exch(u8& loc, u8 value);
+
+ private:
+  friend class Device;
+  Device* device_ = nullptr;
+  u32 block_ = 0;
+  u32 thread_ = 0;
+  u32 global_ = 0;
+  u32 block_dim_ = 0;
+  u32 grid_dim_ = 0;
+};
+
+class Device {
+ public:
+  explicit Device(CostModel cost = {}, u64 seed = 0,
+                  ScheduleMode mode = ScheduleMode::kDeterministic);
+
+  // --- launch disciplines --------------------------------------------------
+  /// Run `body(ctx)` once for every thread of the grid.
+  KernelStats launch(const std::string& name, LaunchConfig cfg,
+                     const std::function<void(ThreadCtx&)>& body);
+
+  /// Asynchronous kernel: `step(ctx)` is one outer-loop iteration of a
+  /// thread; it returns true when the thread has finished. The scheduler
+  /// advances every unfinished thread once per round until all finish.
+  /// `on_round_end`, if given, runs after every round — kernels use it to
+  /// publish a round snapshot when they model the bounded staleness of
+  /// massively parallel execution (see algos/mis). `max_rounds` guards
+  /// against non-terminating kernels under test.
+  KernelStats launch_cooperative(
+      const std::string& name, LaunchConfig cfg,
+      const std::function<bool(ThreadCtx&)>& step,
+      const std::function<void(u64)>& on_round_end = {},
+      u64 max_rounds = 1u << 22);
+
+  /// Block-synchronous do-while kernel (ECL-SCC's propagation): each block
+  /// repeats { every thread runs `step`; block-wide sync } while any thread
+  /// in the block reported an update. Returns per-block inner iteration
+  /// counts. `step(ctx, inner_iter)` returns "did this thread update".
+  /// Updates become visible immediately (Gauss-Seidel within the sweep).
+  KernelStats launch_block_iterative(
+      const std::string& name, LaunchConfig cfg,
+      const std::function<bool(ThreadCtx&, u64)>& step,
+      u64 max_inner = 1u << 22);
+
+  /// Like launch_block_iterative, but with *sweep-snapshot* visibility: the
+  /// kernel's `step` only reads committed state and buffers its writes;
+  /// `commit(block, inner_iter)` applies them after the block-wide sync and
+  /// returns whether anything changed (false ends the block's loop). This
+  /// models warp-parallel execution, where a value chain advances about one
+  /// hop per sweep regardless of thread ids — a serialized sweep would let
+  /// chains aligned with the serialization order collapse in one sweep and
+  /// chains against it crawl, an artifact of the simulator, not the machine.
+  KernelStats launch_block_jacobi(
+      const std::string& name, LaunchConfig cfg,
+      const std::function<void(ThreadCtx&, u64)>& step,
+      const std::function<bool(u32, u64)>& commit, u64 max_inner = 1u << 22);
+
+  // --- host-side modeling ---------------------------------------------------
+  /// Charge one host-side bookkeeping operation (e.g. recomputing a launch
+  /// configuration before a kernel launch, paper §6.2.3).
+  void host_op(u64 count = 1);
+
+  // --- accounting ------------------------------------------------------------
+  const CostModel& cost_model() const { return cost_; }
+  AtomicStats& atomic_stats() { return atomics_; }
+  const AtomicStats& atomic_stats() const { return atomics_; }
+  /// Modeled cycles accumulated since construction or reset_cycles().
+  u64 total_cycles() const { return total_cycles_; }
+  void reset_cycles() { total_cycles_ = 0; }
+  u64 kernel_launches() const { return launches_; }
+
+  ScheduleMode schedule_mode() const { return mode_; }
+  u64 seed() const { return seed_; }
+
+  /// Attach a launch timeline (sim/trace.hpp). Not owned; pass nullptr to
+  /// detach. Every subsequent launch appends one TraceEvent.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
+  /// Number of threads the paper's per-thread tables are averaged over
+  /// (196,608 on the RTX 4090 = sm_count * resident threads); for us it is
+  /// whatever the launch used — exposed for symmetric reporting.
+  static constexpr u32 kWarpSize = 32;
+
+ private:
+  friend class ThreadCtx;
+
+  void charge(u32 global_thread, u64 cycles);
+  KernelCost finalize_cost(const LaunchConfig& cfg,
+                           std::span<const u64> thread_work,
+                           std::span<const u64> block_sync);
+  ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread);
+  void record_trace(const KernelStats& stats, u64 atomics_before);
+
+  CostModel cost_;
+  AtomicStats atomics_;
+  u64 seed_;
+  ScheduleMode mode_;
+  Rng rng_;
+  u64 total_cycles_ = 0;
+  u64 launches_ = 0;
+  Trace* trace_ = nullptr;
+  // Work accumulator of the launch currently executing.
+  std::vector<u64> work_;
+};
+
+// --- ThreadCtx inline implementations ---------------------------------------
+
+template <typename T>
+T ThreadCtx::load(const T& loc) {
+  charge_reads(1);
+  return loc;
+}
+
+template <typename T>
+void ThreadCtx::store(T& loc, T value) {
+  charge_writes(1);
+  loc = value;
+}
+
+}  // namespace eclp::sim

@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace eclp::sim {
+
+Table Trace::summary(const std::string& title) const {
+  struct Agg {
+    u64 launches = 0;
+    u64 cycles = 0;
+    u64 atomics = 0;
+  };
+  std::map<std::string, Agg> by_kernel;
+  u64 total_cycles = 0;
+  for (const auto& e : events_) {
+    auto& agg = by_kernel[e.kernel];
+    agg.launches++;
+    agg.cycles += e.modeled_cycles;
+    agg.atomics += e.atomics_delta;
+    total_cycles += e.modeled_cycles;
+  }
+  // Sort by descending cycle share.
+  std::vector<std::pair<std::string, Agg>> rows(by_kernel.begin(),
+                                                by_kernel.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.cycles > b.second.cycles;
+  });
+  Table t(title);
+  t.set_header({"kernel", "launches", "cycles", "share", "atomics"});
+  for (const auto& [name, agg] : rows) {
+    const double share =
+        total_cycles ? 100.0 * static_cast<double>(agg.cycles) /
+                           static_cast<double>(total_cycles)
+                     : 0.0;
+    t.add_row({name, fmt::grouped(agg.launches), fmt::grouped(agg.cycles),
+               fmt::fixed(share, 1) + "%", fmt::grouped(agg.atomics)});
+  }
+  return t;
+}
+
+Table Trace::load_balance(const std::string& title) const {
+  struct Agg {
+    u64 launches = 0;
+    double active_sum = 0.0;
+    double imbalance_sum = 0.0;
+    double imbalance_max = 1.0;
+  };
+  std::map<std::string, Agg> by_kernel;
+  for (const auto& e : events_) {
+    auto& agg = by_kernel[e.kernel];
+    agg.launches++;
+    const u32 total = e.active_threads + e.idle_threads;
+    agg.active_sum += total ? static_cast<double>(e.active_threads) /
+                                  static_cast<double>(total)
+                            : 0.0;
+    agg.imbalance_sum += e.imbalance;
+    agg.imbalance_max = std::max(agg.imbalance_max, e.imbalance);
+  }
+  Table t(title);
+  t.set_header({"kernel", "launches", "avg active %", "avg imbalance",
+                "worst imbalance"});
+  for (const auto& [name, agg] : by_kernel) {
+    const double n = static_cast<double>(agg.launches);
+    t.add_row({name, fmt::grouped(agg.launches),
+               fmt::fixed(100.0 * agg.active_sum / n, 1),
+               fmt::fixed(agg.imbalance_sum / n, 2),
+               fmt::fixed(agg.imbalance_max, 2)});
+  }
+  return t;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "sequence,kernel,blocks,threads_per_block,modeled_cycles,"
+        "cumulative_cycles,atomics_delta,active_threads,idle_threads,"
+        "imbalance\n";
+  for (const auto& e : events_) {
+    os << e.sequence << ',' << e.kernel << ',' << e.blocks << ','
+       << e.threads_per_block << ',' << e.modeled_cycles << ','
+       << e.cumulative_cycles << ',' << e.atomics_delta << ','
+       << e.active_threads << ',' << e.idle_threads << ',' << e.imbalance
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace eclp::sim

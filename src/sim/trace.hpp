@@ -1,0 +1,52 @@
+// Kernel launch timeline.
+//
+// Complements the counter framework with the one thing general-purpose
+// profilers *do* provide — a per-launch timeline — so instrumented runs can
+// relate their application-specific counts to where modeled time goes.
+// Attach with Device::set_trace(); every launch appends one event.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "support/table.hpp"
+#include "support/types.hpp"
+
+namespace eclp::sim {
+
+struct TraceEvent {
+  u64 sequence = 0;        ///< launch order
+  std::string kernel;
+  u32 blocks = 0;
+  u32 threads_per_block = 0;
+  u64 modeled_cycles = 0;
+  u64 cumulative_cycles = 0;  ///< device total after this launch
+  u64 atomics_delta = 0;      ///< atomic ops issued by this launch
+  // The paper's §3.1 general metrics of this launch:
+  u32 active_threads = 0;
+  u32 idle_threads = 0;
+  double imbalance = 1.0;  ///< max thread work / mean active thread work
+};
+
+class Trace {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  std::span<const TraceEvent> events() const { return events_; }
+  usize size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Aggregate by kernel name: launches, total/share of cycles, atomics.
+  Table summary(const std::string& title = "kernel timeline summary") const;
+  /// Aggregate the §3.1 general metrics by kernel name: average active
+  /// thread fraction (vs. idle, §3.1.3-3.1.4) and load imbalance (§3.1.1).
+  Table load_balance(const std::string& title = "load balance by kernel") const;
+  /// One CSV line per launch for external timeline tools.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace eclp::sim

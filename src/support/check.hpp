@@ -1,0 +1,45 @@
+// Lightweight runtime checking.
+//
+// ECLP_CHECK is always on (release included): the library's invariants are
+// cheap relative to graph processing and violations indicate programmer
+// error, so we fail fast with a descriptive exception instead of undefined
+// behaviour (C++ Core Guidelines I.6/E.12).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eclp {
+
+/// Exception thrown when a runtime check fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace eclp
+
+/// Check a condition; throws eclp::CheckFailure with location info on failure.
+#define ECLP_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::eclp::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+    }                                                                     \
+  } while (false)
+
+/// Check with a streamed message: ECLP_CHECK_MSG(x < n, "x=" << x).
+#define ECLP_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::std::ostringstream eclp_check_os_;                                \
+      eclp_check_os_ << stream_expr;                                      \
+      ::eclp::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                   eclp_check_os_.str());                 \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,88 @@
+#include "support/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace eclp::plot {
+
+std::string BarChart::render() const {
+  ECLP_CHECK(rows.size() == row_labels.size());
+  double peak = 0.0;
+  for (const auto& r : rows) {
+    ECLP_CHECK(r.size() == series.size());
+    for (const double v : r) peak = std::max(peak, v);
+  }
+  usize label_w = 0, series_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  for (const auto& s : series) series_w = std::max(series_w, s.size());
+
+  std::ostringstream os;
+  os << "-- " << title << " --\n";
+  for (usize r = 0; r < rows.size(); ++r) {
+    for (usize s = 0; s < series.size(); ++s) {
+      const std::string& label = s == 0 ? row_labels[r] : std::string();
+      const double v = rows[r][s];
+      const usize len =
+          peak > 0
+              ? static_cast<usize>(std::lround(v / peak *
+                                               static_cast<double>(width)))
+              : 0;
+      char value[32];
+      std::snprintf(value, sizeof value, "%.1f", v);
+      os << "  " << label << std::string(label_w - label.size(), ' ')
+         << " | " << series[s] << std::string(series_w - series[s].size(), ' ')
+         << ' ' << std::string(len, '#') << ' ' << value << '\n';
+    }
+    if (series.size() > 1) os << '\n';
+  }
+  return os.str();
+}
+
+std::string Scatter::render() const {
+  ECLP_CHECK(xs.size() == ys.size());
+  std::ostringstream os;
+  os << "-- " << title << " --\n";
+  if (xs.empty()) {
+    os << "  (no points)\n";
+    return os.str();
+  }
+  const auto [xmin_it, xmax_it] = std::minmax_element(xs.begin(), xs.end());
+  const auto [ymin_it, ymax_it] = std::minmax_element(ys.begin(), ys.end());
+  const double xmin = *xmin_it, xmax = *xmax_it;
+  const double ymin = std::min(0.0, *ymin_it), ymax = *ymax_it;
+  const double xspan = xmax > xmin ? xmax - xmin : 1.0;
+  const double yspan = ymax > ymin ? ymax - ymin : 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (usize i = 0; i < xs.size(); ++i) {
+    const usize col = static_cast<usize>(
+        (xs[i] - xmin) / xspan * static_cast<double>(width - 1));
+    const usize row = static_cast<usize>(
+        (ys[i] - ymin) / yspan * static_cast<double>(height - 1));
+    grid[height - 1 - row][col] = '*';
+  }
+  char ylab[32];
+  std::snprintf(ylab, sizeof ylab, "%.0f", ymax);
+  os << "  y max = " << ylab << '\n';
+  for (const auto& line : grid) {
+    os << "  |" << line << '\n';
+  }
+  os << "  +" << std::string(width, '-') << '\n';
+  char xl[32], xr[32];
+  std::snprintf(xl, sizeof xl, "%.0f", xmin);
+  std::snprintf(xr, sizeof xr, "%.0f", xmax);
+  os << "   " << xl
+     << std::string(width > std::string(xl).size() + std::string(xr).size()
+                        ? width - std::string(xl).size() -
+                              std::string(xr).size()
+                        : 1,
+                    ' ')
+     << xr << '\n';
+  return os.str();
+}
+
+}  // namespace eclp::plot

@@ -1,0 +1,43 @@
+// Minimal ASCII plotting for the bench binaries.
+//
+// The paper's evaluation contains two figures; the benches regenerate their
+// data as tables and CSV, and these helpers render a terminal-friendly
+// approximation of the plots themselves (grouped horizontal bars for
+// Figure 2, a block scatter for Figure 1's panels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace eclp::plot {
+
+/// Grouped horizontal bar chart: one group per row label, one bar per
+/// series. Values are scaled to `width` columns against the global maximum.
+///
+///   Regular 1 | work      ######################### 99.6
+///             | conflicts ############ 48.3
+struct BarChart {
+  std::string title;
+  std::vector<std::string> series;        ///< bar names within each group
+  std::vector<std::string> row_labels;    ///< one per group
+  std::vector<std::vector<double>> rows;  ///< rows x series values
+  usize width = 50;
+
+  std::string render() const;
+};
+
+/// Scatter of (x, y) points on a character grid, e.g. per-block update
+/// counts (x = block id, y = updates) for one Figure 1 panel.
+struct Scatter {
+  std::string title;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  usize width = 72;
+  usize height = 16;
+
+  std::string render() const;
+};
+
+}  // namespace eclp::plot

@@ -1,0 +1,132 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace eclp::stats {
+
+namespace {
+
+template <typename T>
+Summary summarize_impl(std::span<const T> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double mean = 0.0, m2 = 0.0, total = 0.0;
+  double mn = static_cast<double>(xs[0]);
+  double mx = mn;
+  usize n = 0;
+  for (const T& v : xs) {
+    const double x = static_cast<double>(v);
+    total += x;
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+    ++n;
+    const double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+  }
+  s.total = total;
+  s.min = mn;
+  s.max = mx;
+  s.mean = mean;
+  s.stddev = std::sqrt(m2 / static_cast<double>(n));
+  return s;
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const u64> xs) { return summarize_impl(xs); }
+Summary summarize(std::span<const double> xs) { return summarize_impl(xs); }
+
+double median(std::span<const double> xs) {
+  ECLP_CHECK(!xs.empty());
+  auto v = sorted_copy(xs);
+  const usize n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double median(std::span<const u64> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median(std::span<const double>(v));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  ECLP_CHECK(!xs.empty());
+  ECLP_CHECK(p >= 0.0 && p <= 100.0);
+  auto v = sorted_copy(xs);
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const usize lo = static_cast<usize>(rank);
+  const usize hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  ECLP_CHECK(xs.size() == ys.size());
+  ECLP_CHECK(!xs.empty());
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (usize i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double cov = 0, vx = 0, vy = 0;
+  for (usize i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  if (vx == 0.0 || vy == 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+Interval median_ci95(std::span<const double> xs) {
+  ECLP_CHECK(!xs.empty());
+  auto v = sorted_copy(xs);
+  const usize n = v.size();
+  if (n < 6) {
+    // Too few samples for a nonparametric interval: report the range.
+    return {v.front(), v.back()};
+  }
+  // Order-statistic CI: ranks ~ n/2 ± 1.96*sqrt(n)/2.
+  const double half = 1.96 * std::sqrt(static_cast<double>(n)) / 2.0;
+  const double center = static_cast<double>(n) / 2.0;
+  const auto clamp_rank = [&](double r) {
+    return static_cast<usize>(
+        std::clamp(r, 0.0, static_cast<double>(n - 1)));
+  };
+  const usize lo = clamp_rank(std::floor(center - half));
+  const usize hi = clamp_rank(std::ceil(center + half) - 1.0);
+  return {v[lo], v[std::max(lo, hi)]};
+}
+
+void Online::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  total_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double Online::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace eclp::stats

@@ -1,0 +1,71 @@
+// Descriptive statistics used by the profiling reports.
+//
+// The paper reports per-thread/per-vertex averages and maxima (Tables 2-5),
+// medians of nine runs (Section 5.2), Pearson correlations between metrics
+// and graph properties (Sections 6.1.1/6.1.5), and 95% confidence intervals
+// around medians (Figure 2). Everything needed for those is here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace eclp::stats {
+
+/// Five-number summary of a sample.
+struct Summary {
+  usize count = 0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+};
+
+/// Summarize an integer or floating-point sample.
+Summary summarize(std::span<const u64> xs);
+Summary summarize(std::span<const double> xs);
+
+/// Median of a sample (interpolated for even sizes). Copies and sorts.
+double median(std::span<const double> xs);
+double median(std::span<const u64> xs);
+
+/// p-th percentile in [0,100] via linear interpolation. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient r between two equally-sized samples.
+/// Returns 0 when either sample has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Nonparametric 95% confidence interval around the median via the
+/// binomial order-statistic method (the error bars in the paper's Figure 2).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval median_ci95(std::span<const double> xs);
+
+/// Streaming accumulator: mean/min/max/stddev without storing the sample.
+class Online {
+ public:
+  void add(double x);
+  usize count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double total() const { return total_; }
+  /// Population variance (Welford).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  usize n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace eclp::stats

@@ -1,0 +1,124 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace eclp {
+
+void Table::set_header(std::vector<std::string> header) {
+  ECLP_CHECK_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ECLP_CHECK_MSG(row.size() == header_.size(),
+                 "row arity " << row.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_text() const {
+  std::vector<usize> width(header_.size(), 0);
+  for (usize c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (usize c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  const auto emit_row = [&](const std::vector<std::string>& r) {
+    for (usize c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      // Left-align first column (names), right-align the rest (numbers).
+      if (c == 0) {
+        os << r[c] << std::string(width[c] - r[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - r[c].size(), ' ') << r[c];
+      }
+    }
+    os << " |\n";
+  };
+  const auto rule = [&] {
+    for (usize c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(width[c], '-');
+    }
+    os << "-+\n";
+  };
+  rule();
+  emit_row(header_);
+  rule();
+  for (const auto& r : rows_) emit_row(r);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& r) {
+    for (usize c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << escape(r[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+namespace fmt {
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
+  return buf;
+}
+
+std::string grouped(u64 v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  usize count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string signed_pct(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f", digits, v);
+  return buf;
+}
+
+}  // namespace fmt
+
+}  // namespace eclp

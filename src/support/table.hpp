@@ -1,0 +1,61 @@
+// Text and CSV table emitters.
+//
+// Every bench binary regenerates one of the paper's tables/figures; these
+// helpers render them as aligned text (for the console) and CSV (for
+// downstream plotting), mirroring the row/column layout of the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace eclp {
+
+/// A simple row/column table with a title and column headers.
+/// Cells are strings; use the fmt:: helpers to format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the column headers. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  usize rows() const { return rows_.size(); }
+  usize cols() const { return header_.size(); }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(usize i) const { return rows_.at(i); }
+
+  /// Render as an aligned, boxed text table.
+  std::string to_text() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Write text rendering to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace fmt {
+
+/// Fixed-point with `digits` decimals, e.g. fixed(2.345, 2) == "2.35"
+std::string fixed(double v, int digits);
+/// Scientific in the paper's Table 4 style, e.g. "1.05e+06".
+std::string sci(double v, int digits = 2);
+/// Integer with thousands separators, e.g. "4,190,208".
+std::string grouped(u64 v);
+/// Percentage with sign, e.g. "+3.33" / "-0.52".
+std::string signed_pct(double v, int digits = 2);
+
+}  // namespace fmt
+
+}  // namespace eclp

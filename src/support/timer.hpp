@@ -1,0 +1,25 @@
+// Wall-clock timer. Real runtimes appear in our reports only as a sanity
+// complement; the reproduction's speedups come from the deterministic cycle
+// model in sim/cost_model.hpp.
+#pragma once
+
+#include <chrono>
+
+namespace eclp {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace eclp

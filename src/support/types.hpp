@@ -1,0 +1,35 @@
+// Fixed-width integer aliases used throughout the library.
+//
+// Graph vertex/edge indices are 32-bit (the ECL suite also uses 32-bit
+// indices); counters are 64-bit so they cannot overflow on any input this
+// library can hold in memory.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace eclp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Vertex index type. 32-bit, matching the ECL suite's CSR representation.
+using vidx = u32;
+/// Edge index type (offset into the CSR adjacency array).
+using eidx = u32;
+/// Edge weight type for weighted graphs (MST).
+using weight_t = u32;
+
+/// Sentinel "no vertex" value.
+inline constexpr vidx kNoVertex = static_cast<vidx>(-1);
+/// Sentinel "no edge" value.
+inline constexpr eidx kNoEdge = static_cast<eidx>(-1);
+
+}  // namespace eclp

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "algos/baselines/fw_bw_scc.hpp"
+#include "algos/baselines/label_prop_cc.hpp"
+#include "algos/baselines/luby_mis.hpp"
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/common.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+
+namespace eclp::algos::baselines {
+namespace {
+
+// --- label-propagation CC ------------------------------------------------------
+
+TEST(LabelPropCc, MatchesReferenceOnRandomGraphs) {
+  for (const u64 seed : {1ull, 2ull, 3ull}) {
+    sim::Device dev;
+    const auto g = gen::uniform_random(3000, 6000, seed);
+    const auto res = label_prop_cc(dev, g);
+    EXPECT_TRUE(cc::verify(g, res.labels)) << "seed " << seed;
+    EXPECT_GT(res.rounds, 0u);
+  }
+}
+
+TEST(LabelPropCc, AgreesWithEclCc) {
+  const auto g = gen::preferential_attachment(4000, 4, 9);
+  sim::Device d1, d2;
+  const auto lp = label_prop_cc(d1, g);
+  const auto ecl = cc::run(d2, g);
+  EXPECT_EQ(normalize_labels(lp.labels), normalize_labels(ecl.labels));
+}
+
+TEST(LabelPropCc, RoundsGrowWithDiameter) {
+  sim::Device d1, d2;
+  // Power-law (low diameter) vs. road network (high diameter).
+  const auto low = label_prop_cc(d1, gen::preferential_attachment(8000, 5, 3));
+  const auto high = label_prop_cc(d2, gen::road_network(90, 0.2, 3));
+  EXPECT_GT(high.rounds, low.rounds);
+}
+
+TEST(LabelPropCc, EclCcIsCheaperOnHighDiameterInputs) {
+  // The reason ECL-CC exists: union-find beats propagation when labels must
+  // travel far.
+  const auto g = gen::road_network(90, 0.2, 5);
+  sim::Device d1, d2;
+  const auto lp = label_prop_cc(d1, g);
+  const auto ecl = cc::run(d2, g);
+  EXPECT_GT(lp.modeled_cycles, ecl.modeled_cycles);
+}
+
+TEST(LabelPropCc, EmptyAndSingletonGraphs) {
+  sim::Device dev;
+  const auto g = graph::from_edges(3, {});
+  const auto res = label_prop_cc(dev, g);
+  for (vidx v = 0; v < 3; ++v) EXPECT_EQ(res.labels[v], v);
+}
+
+// --- Luby MIS --------------------------------------------------------------------
+
+TEST(LubyMis, ValidOnSuiteInputs) {
+  for (const char* name : {"internet", "rmat16.sym", "USA-road-d.NY"}) {
+    sim::Device dev;
+    const auto g = gen::find_input(name).make(gen::Scale::kTiny);
+    const auto res = luby_mis(dev, g, 7);
+    EXPECT_TRUE(mis::verify(g, res.status)) << name;
+    EXPECT_EQ(res.set_size,
+              static_cast<usize>(std::count(res.status.begin(),
+                                            res.status.end(), mis::kIn)))
+        << name;
+  }
+}
+
+TEST(LubyMis, RoundsLogarithmicInPractice) {
+  sim::Device dev;
+  const auto g = gen::uniform_random(20000, 60000, 11);
+  const auto res = luby_mis(dev, g, 3);
+  EXPECT_TRUE(mis::verify(g, res.status));
+  EXPECT_LT(res.rounds, 40u);
+}
+
+TEST(LubyMis, DifferentSeedsDifferentSets) {
+  const auto g = gen::uniform_random(2000, 6000, 13);
+  sim::Device d1, d2;
+  const auto a = luby_mis(d1, g, 1);
+  const auto b = luby_mis(d2, g, 2);
+  EXPECT_TRUE(mis::verify(g, a.status));
+  EXPECT_TRUE(mis::verify(g, b.status));
+  EXPECT_NE(a.status, b.status);  // randomness actually matters
+}
+
+TEST(LubyMis, EclMisFindsLargerSetOnSkewedDegrees) {
+  // ECL-MIS's degree-aware priority favors low-degree vertices, which grows
+  // the set on power-law graphs relative to Luby's uniform randomness.
+  const auto g = gen::internet_topology(20000, 17);
+  sim::Device d1, d2;
+  const auto luby = luby_mis(d1, g, 5);
+  const auto ecl = mis::run(d2, g);
+  EXPECT_GT(ecl.set_size, luby.set_size);
+}
+
+TEST(LubyMis, TriangleAndIsolated) {
+  sim::Device dev;
+  const auto g = graph::from_edges(5, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  const auto res = luby_mis(dev, g, 9);
+  EXPECT_TRUE(mis::verify(g, res.status));
+  EXPECT_EQ(res.set_size, 3u);  // one of the triangle + vertices 3, 4
+}
+
+// --- FW-BW SCC ---------------------------------------------------------------------
+
+graph::Csr directed(vidx n, const std::vector<graph::Edge>& edges) {
+  graph::BuildOptions opt;
+  opt.directed = true;
+  return graph::from_edges(n, edges, opt);
+}
+
+TEST(FwBwScc, MatchesTarjanOnSmallDigraphs) {
+  const auto g = directed(6, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0},
+                              {3, 4, 0}, {4, 5, 0}, {5, 3, 0},
+                              {2, 3, 0}});
+  sim::Device dev;
+  const auto res = fw_bw_scc(dev, g);
+  EXPECT_TRUE(scc::verify(g, res.scc_id));
+  EXPECT_EQ(res.num_sccs, 2u);
+  EXPECT_GE(res.pivots, 1u);
+}
+
+TEST(FwBwScc, TrimHandlesChains) {
+  sim::Device dev;
+  const auto g = directed(5, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 4, 0}});
+  const auto res = fw_bw_scc(dev, g);
+  EXPECT_TRUE(scc::verify(g, res.scc_id));
+  EXPECT_EQ(res.num_sccs, 5u);
+  // Pure chains are fully resolved by trimming: no pivot phases needed.
+  EXPECT_EQ(res.pivots, 0u);
+}
+
+TEST(FwBwScc, MatchesTarjanOnRandomDigraphs) {
+  for (const u64 seed : {4ull, 5ull, 6ull}) {
+    Rng rng(seed);
+    std::vector<graph::Edge> edges;
+    const vidx n = 400;
+    for (int e = 0; e < 1100; ++e) {
+      edges.push_back({static_cast<vidx>(rng.below(n)),
+                       static_cast<vidx>(rng.below(n)), 0});
+    }
+    const auto g = directed(n, edges);
+    sim::Device dev;
+    EXPECT_TRUE(scc::verify(g, fw_bw_scc(dev, g).scc_id)) << "seed " << seed;
+  }
+}
+
+class FwBwMeshTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FwBwMeshTest, MatchesEclSccOnMesh) {
+  const auto g = gen::find_input(GetParam()).make(gen::Scale::kTiny);
+  sim::Device d1, d2;
+  const auto fwbw = fw_bw_scc(d1, g);
+  const auto ecl = scc::run(d2, g);
+  EXPECT_EQ(normalize_labels(fwbw.scc_id), normalize_labels(ecl.scc_id));
+  EXPECT_EQ(fwbw.num_sccs, ecl.num_sccs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, FwBwMeshTest,
+                         ::testing::Values("toroid-wedge", "star",
+                                           "cold-flow", "klein-bottle"));
+
+TEST(FwBwScc, ManySccsMeanManyPivots) {
+  // star has hundreds of nontrivial SCCs: FW-BW serializes one pivot per
+  // phase, which is exactly the bottleneck ECL-SCC's all-pivots scheme
+  // removes.
+  const auto g = gen::find_input("star").make(gen::Scale::kTiny);
+  sim::Device dev;
+  const auto res = fw_bw_scc(dev, g);
+  EXPECT_GT(res.pivots, 10u);
+}
+
+}  // namespace
+}  // namespace eclp::algos::baselines

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "algos/cc/ecl_cc.hpp"
+
+#include "algos/common.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+#include "graph/properties.hpp"
+
+namespace eclp::algos::cc {
+namespace {
+
+using graph::from_edges;
+
+TEST(EclCc, SingleVertex) {
+  sim::Device dev;
+  const auto g = from_edges(1, {});
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.labels[0], 0u);
+  EXPECT_TRUE(verify(g, res.labels));
+}
+
+TEST(EclCc, DisconnectedComponentsGetDistinctLabels) {
+  sim::Device dev;
+  const auto g = from_edges(6, {{0, 1, 0}, {1, 2, 0}, {3, 4, 0}});
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.labels));
+  EXPECT_EQ(res.labels[0], res.labels[2]);
+  EXPECT_NE(res.labels[0], res.labels[3]);
+  EXPECT_EQ(res.labels[5], 5u);
+}
+
+TEST(EclCc, LabelsAreRepresentatives) {
+  sim::Device dev;
+  const auto g = gen::uniform_random(2000, 3000, 1);
+  const auto res = run(dev, g);
+  // Every label must point at a vertex carrying its own label (a root).
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(res.labels[res.labels[v]], res.labels[v]);
+  }
+}
+
+TEST(EclCc, RejectsDirectedGraph) {
+  sim::Device dev;
+  graph::BuildOptions opt;
+  opt.directed = true;
+  const auto g = from_edges(3, {{0, 1, 0}}, opt);
+  EXPECT_THROW(run(dev, g), CheckFailure);
+}
+
+TEST(EclCc, InitCountersOnGrid) {
+  // On a torus grid every vertex has degree 4 and sorted adjacency; the
+  // expected traversal count is analytic: a vertex traverses 1 entry when
+  // its first neighbor is smaller, else all 4 (paper §6.1.3: "either 1 or
+  // equal to the vertex's degree").
+  sim::Device dev;
+  const auto g = gen::grid2d_torus(32);
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.profile.vertices_initialized, g.num_vertices());
+  u64 expected = 0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    expected += g.neighbors(v)[0] < v ? 1 : g.degree(v);
+  }
+  EXPECT_EQ(res.profile.init_neighbors_traversed, expected);
+}
+
+TEST(EclCc, OptimizedInitTraversesAtMostOnePerVertex) {
+  sim::Device dev;
+  const auto g = gen::citation(5000, 4.0, 0.35, 7);
+  Options opt;
+  opt.optimized_init = true;
+  const auto res = run(dev, g, opt);
+  EXPECT_LE(res.profile.init_neighbors_traversed, g.num_vertices());
+  EXPECT_TRUE(verify(g, res.labels));
+}
+
+TEST(EclCc, OptimizedInitGivesSameComponents) {
+  const auto g = gen::rmat(12, 20000, 0.45, 0.22, 0.22, 3);
+  sim::Device d1, d2;
+  Options opt;
+  const auto original = run(d1, g, opt);
+  opt.optimized_init = true;
+  const auto optimized = run(d2, g, opt);
+  EXPECT_EQ(normalize_labels(original.labels),
+            normalize_labels(optimized.labels));
+}
+
+TEST(EclCc, OptimizedInitIsCheaperOnTraversalHeavyInput) {
+  // Citation graphs have many vertices without a smaller neighbor; the
+  // optimized init must reduce the init kernel's modeled cycles (Table 7).
+  const auto g = gen::citation(20000, 4.0, 0.35, 9);
+  sim::Device d1, d2;
+  Options opt;
+  const auto original = run(d1, g, opt);
+  opt.optimized_init = true;
+  const auto optimized = run(d2, g, opt);
+  EXPECT_LT(optimized.init_cycles, original.init_cycles);
+}
+
+TEST(EclCc, DegreeBinsPartitionVertices) {
+  sim::Device dev;
+  const auto g = gen::preferential_attachment(3000, 5, 2);
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.profile.low_bin_vertices + res.profile.mid_bin_vertices +
+                res.profile.high_bin_vertices,
+            g.num_vertices());
+  EXPECT_GT(res.profile.mid_bin_vertices + res.profile.high_bin_vertices, 0u);
+}
+
+TEST(EclCc, HookStatsAreConsistent) {
+  sim::Device dev;
+  const auto g = gen::uniform_random(4000, 12000, 4);
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.profile.hook_cas_success + res.profile.hook_cas_failure,
+            res.profile.hook_attempts);
+  // The init heuristic already links every vertex that has a smaller
+  // neighbor; successful CAS hooks merge exactly the remaining union-find
+  // trees down to one per component.
+  usize init_roots = 0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    init_roots += (g.degree(v) == 0 || g.neighbors(v)[0] > v);
+  }
+  const usize comps = graph::count_components(g);
+  EXPECT_EQ(res.profile.hook_cas_success, init_roots - comps);
+}
+
+TEST(EclCc, ModeledCyclesDeterministic) {
+  const auto g = gen::grid2d_torus(24);
+  sim::Device d1, d2;
+  EXPECT_EQ(run(d1, g).modeled_cycles, run(d2, g).modeled_cycles);
+}
+
+TEST(EclCc, InitCyclesAreTrackedSeparately) {
+  sim::Device dev;
+  const auto g = gen::grid2d_torus(24);
+  const auto res = run(dev, g);
+  EXPECT_GT(res.init_cycles, 0u);
+  EXPECT_LT(res.init_cycles, res.modeled_cycles);
+}
+
+class CcSuiteTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(CcSuiteTest, MatchesReferenceOnSuiteInput) {
+  const auto& spec = gen::general_inputs()[GetParam()];
+  const auto g = spec.make(gen::Scale::kTiny);
+  sim::Device dev;
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.labels)) << spec.name;
+}
+
+TEST_P(CcSuiteTest, OptimizedVariantMatchesToo) {
+  const auto& spec = gen::general_inputs()[GetParam()];
+  const auto g = spec.make(gen::Scale::kTiny);
+  sim::Device dev;
+  Options opt;
+  opt.optimized_init = true;
+  const auto res = run(dev, g, opt);
+  EXPECT_TRUE(verify(g, res.labels)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, CcSuiteTest,
+                         ::testing::Range<usize>(0, 17));
+
+TEST(EclCc, WorksUnderShuffledSchedule) {
+  const auto g = gen::uniform_random(3000, 9000, 6);
+  for (const u64 seed : {1ull, 2ull, 3ull}) {
+    sim::Device dev({}, seed, sim::ScheduleMode::kShuffled);
+    EXPECT_TRUE(verify(g, run(dev, g).labels)) << "seed " << seed;
+  }
+}
+
+TEST(EclCc, ThreadsPerBlockDoesNotChangeResult) {
+  const auto g = gen::rmat(11, 8000, 0.45, 0.22, 0.22, 8);
+  std::vector<vidx> first;
+  for (const u32 tpb : {64u, 128u, 512u}) {
+    sim::Device dev;
+    Options opt;
+    opt.threads_per_block = tpb;
+    auto labels = normalize_labels(run(dev, g, opt).labels);
+    if (first.empty()) {
+      first = std::move(labels);
+    } else {
+      EXPECT_EQ(first, labels) << "tpb " << tpb;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eclp::algos::cc

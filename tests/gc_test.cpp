@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "algos/gc/ecl_gc.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+
+namespace eclp::algos::gc {
+namespace {
+
+using graph::from_edges;
+
+TEST(EclGc, TriangleNeedsThreeColors) {
+  sim::Device dev;
+  const auto g = from_edges(3, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  EXPECT_EQ(res.num_colors, 3u);
+}
+
+TEST(EclGc, BipartiteGridGetsTwoColors) {
+  sim::Device dev;
+  const auto g = gen::grid2d_torus(16);  // even side => bipartite
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  EXPECT_EQ(res.num_colors, 2u);
+}
+
+TEST(EclGc, PathUsesTwoColors) {
+  sim::Device dev;
+  std::vector<graph::Edge> edges;
+  for (vidx v = 0; v + 1 < 50; ++v) edges.push_back({v, v + 1, 0});
+  const auto g = from_edges(50, edges);
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  EXPECT_EQ(res.num_colors, 2u);
+}
+
+TEST(EclGc, IsolatedVerticesAllColorZero) {
+  sim::Device dev;
+  const auto g = from_edges(4, {});
+  const auto res = run(dev, g);
+  for (const u32 c : res.colors) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(res.num_colors, 1u);
+}
+
+TEST(EclGc, ColorCountBoundedByMaxDegreePlusOne) {
+  sim::Device dev;
+  const auto g = gen::rmat(12, 20000, 0.45, 0.22, 0.22, 14);
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  EXPECT_LE(res.num_colors, graph::degree_stats(g).max + 1);
+}
+
+TEST(EclGc, QualityCloseToSequentialGreedy) {
+  const auto g = gen::preferential_attachment(5000, 6, 25);
+  sim::Device dev;
+  const auto res = run(dev, g);
+  const auto greedy = reference_greedy(g);
+  // JP with LDF ordering should not use dramatically more colors.
+  EXPECT_LE(res.num_colors, count_colors(greedy) + 3);
+}
+
+TEST(EclGc, ShortcutsFireOnNontrivialInputs) {
+  sim::Device dev;
+  const auto g = gen::clique_union(3000, 800, 3, 25, 31);
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  EXPECT_GT(res.shortcut1_colorings, 0u);
+  EXPECT_GT(res.shortcut2_removals, 0u);
+}
+
+TEST(EclGc, RunLargeMetricsOnlyWhenLargeVerticesExist) {
+  sim::Device dev;
+  // All degrees <= 4: runLarge handles nothing.
+  const auto g = gen::grid2d_torus(24);
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.run_large.large_vertices, 0u);
+  EXPECT_EQ(res.run_large.not_yet_possible.count, 0u);
+}
+
+TEST(EclGc, RunLargeMetricsPopulatedOnDenseInput) {
+  sim::Device dev;
+  const auto g = gen::clique_union(2000, 400, 20, 40, 37);
+  const auto res = run(dev, g);
+  EXPECT_GT(res.run_large.large_vertices, 0u);
+  EXPECT_EQ(res.run_large.not_yet_possible.count,
+            res.run_large.large_vertices);
+  // Dense inputs must show contention (paper Table 5: coPapersDBLP-style).
+  EXPECT_GT(res.run_large.not_yet_possible.mean, 0.0);
+}
+
+TEST(EclGc, DenserInputsSeeMoreInvalidations) {
+  // The paper correlates Table 5's counters with average degree (r ~ 0.62).
+  sim::Device d1, d2;
+  const auto sparse = gen::clique_union(3000, 300, 8, 33, 4);
+  const auto dense = gen::clique_union(3000, 1800, 20, 60, 4);
+  const auto rs = run(d1, sparse);
+  const auto rd = run(d2, dense);
+  ASSERT_GT(rs.run_large.large_vertices, 0u);
+  ASSERT_GT(rd.run_large.large_vertices, 0u);
+  EXPECT_GT(rd.run_large.not_yet_possible.mean,
+            rs.run_large.not_yet_possible.mean);
+}
+
+TEST(EclGc, DeterministicColors) {
+  const auto g = gen::weblink(4000, 12.0, 51);
+  sim::Device d1, d2;
+  EXPECT_EQ(run(d1, g).colors, run(d2, g).colors);
+}
+
+TEST(EclGc, HostIterationsBounded) {
+  sim::Device dev;
+  const auto g = gen::kronecker(12, 40000, 3);
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors));
+  // Shortcutting keeps rounds far below the color count ceiling.
+  EXPECT_LT(res.host_iterations, 200u);
+}
+
+TEST(EclGc, RejectsDirectedGraph) {
+  sim::Device dev;
+  graph::BuildOptions opt;
+  opt.directed = true;
+  const auto g = from_edges(3, {{0, 1, 0}}, opt);
+  EXPECT_THROW(run(dev, g), CheckFailure);
+}
+
+TEST(EclGc, VerifyRejectsImproperColoring) {
+  const auto g = from_edges(2, {{0, 1, 0}});
+  EXPECT_FALSE(verify(g, std::vector<u32>{1, 1}));
+  EXPECT_FALSE(verify(g, std::vector<u32>{0, kNoColor}));
+  EXPECT_TRUE(verify(g, std::vector<u32>{0, 1}));
+}
+
+TEST(EclGc, GreedyReferenceIsProper) {
+  const auto g = gen::uniform_random(3000, 12000, 15);
+  EXPECT_TRUE(verify(g, reference_greedy(g)));
+}
+
+class GcSuiteTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(GcSuiteTest, ProperColoringOnSuiteInput) {
+  const auto& spec = gen::general_inputs()[GetParam()];
+  const auto g = spec.make(gen::Scale::kTiny);
+  sim::Device dev;
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.colors)) << spec.name;
+  EXPECT_GT(res.num_colors, 0u) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, GcSuiteTest,
+                         ::testing::Range<usize>(0, 17));
+
+}  // namespace
+}  // namespace eclp::algos::gc

@@ -1,0 +1,124 @@
+// Extension-dispatched load/save, plot rendering, and harness plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+#include "support/plot.hpp"
+
+namespace eclp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AutoFormatTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::string path_for(const char* ext) {
+    return (fs::temp_directory_path() /
+            (std::string("eclp_auto_test.") + ext))
+        .string();
+  }
+};
+
+TEST_P(AutoFormatTest, RoundtripUndirected) {
+  const auto g = gen::uniform_random(80, 200, 7);
+  const auto path = path_for(GetParam());
+  graph::save_any(g, path);
+  const auto back = graph::load_any(path);
+  EXPECT_TRUE(back == g) << path;
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, AutoFormatTest,
+                         ::testing::Values("eclg", "mtx", "col", "el"));
+
+TEST(AutoFormat, WeightedRoundtripViaGr) {
+  graph::BuildOptions opt;
+  opt.directed = true;
+  opt.weighted = true;
+  const auto g =
+      graph::from_edges(5, {{0, 1, 9}, {1, 4, 2}, {3, 2, 5}}, opt);
+  const auto path =
+      (fs::temp_directory_path() / "eclp_auto_test.gr").string();
+  graph::save_any(g, path);
+  EXPECT_TRUE(graph::load_any(path) == g);
+  std::remove(path.c_str());
+}
+
+TEST(AutoFormat, UnknownExtensionThrows) {
+  const auto g = gen::grid2d_torus(8);
+  EXPECT_THROW(graph::save_any(g, "/tmp/graph.xyz"), CheckFailure);
+  EXPECT_THROW(graph::load_any("/tmp/graph.xyz"), CheckFailure);
+  EXPECT_THROW(graph::load_any("/tmp/noextension"), CheckFailure);
+}
+
+TEST(AutoFormat, EdgeListDirectednessFlag) {
+  graph::BuildOptions opt;
+  opt.directed = true;
+  const auto g = graph::from_edges(4, {{0, 1, 0}, {2, 3, 0}, {3, 2, 0}}, opt);
+  const auto path =
+      (fs::temp_directory_path() / "eclp_auto_test_dir.el").string();
+  graph::save_any(g, path);
+  const auto directed = graph::load_any(path, /*directed=*/true);
+  EXPECT_TRUE(directed.directed());
+  EXPECT_EQ(directed.num_edges(), 3u);
+  const auto undirected = graph::load_any(path, /*directed=*/false);
+  EXPECT_FALSE(undirected.directed());
+  EXPECT_EQ(undirected.num_edges(), 4u);  // 0-1 mirrored, 2-3 deduped pair
+  std::remove(path.c_str());
+}
+
+// --- plots ------------------------------------------------------------------------
+
+TEST(Plot, BarChartScalesToPeak) {
+  plot::BarChart chart;
+  chart.title = "demo";
+  chart.series = {"a", "b"};
+  chart.row_labels = {"row1", "row2"};
+  chart.rows = {{100.0, 50.0}, {25.0, 0.0}};
+  chart.width = 20;
+  const auto out = chart.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);  // the peak
+  EXPECT_NE(out.find(std::string(10, '#')), std::string::npos);  // half
+  EXPECT_NE(out.find("0.0"), std::string::npos);                 // zero bar
+}
+
+TEST(Plot, BarChartRejectsRaggedRows) {
+  plot::BarChart chart;
+  chart.series = {"a", "b"};
+  chart.row_labels = {"r"};
+  chart.rows = {{1.0}};
+  EXPECT_THROW(chart.render(), CheckFailure);
+}
+
+TEST(Plot, ScatterPlacesExtremePoints) {
+  plot::Scatter sc;
+  sc.title = "demo";
+  sc.xs = {0, 1, 2, 3};
+  sc.ys = {0, 5, 2, 10};
+  sc.width = 20;
+  sc.height = 6;
+  const auto out = sc.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("y max = 10"), std::string::npos);
+}
+
+TEST(Plot, ScatterHandlesEmptyAndConstant) {
+  plot::Scatter empty;
+  empty.title = "empty";
+  EXPECT_NE(empty.render().find("no points"), std::string::npos);
+  plot::Scatter flat;
+  flat.title = "flat";
+  flat.xs = {1, 2};
+  flat.ys = {4, 4};
+  EXPECT_NE(flat.render().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclp

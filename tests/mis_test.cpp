@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "algos/common.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+
+namespace eclp::algos::mis {
+namespace {
+
+using graph::from_edges;
+
+TEST(EclMis, TriangleSelectsExactlyOne) {
+  sim::Device dev;
+  const auto g = from_edges(3, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.status));
+  EXPECT_EQ(res.set_size, 1u);
+}
+
+TEST(EclMis, IsolatedVerticesAllIn) {
+  sim::Device dev;
+  const auto g = from_edges(5, {});
+  const auto res = run(dev, g);
+  EXPECT_EQ(res.set_size, 5u);
+  EXPECT_TRUE(verify(g, res.status));
+}
+
+TEST(EclMis, StarSelectsLeavesNotCenter) {
+  sim::Device dev;
+  // Low-degree priority: leaves beat the center.
+  const auto g =
+      from_edges(6, {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}, {0, 4, 0}, {0, 5, 0}});
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.status));
+  EXPECT_EQ(res.status[0], kOut);
+  EXPECT_EQ(res.set_size, 5u);
+}
+
+TEST(EclMis, PriorityByteFavorsLowDegree) {
+  // Across degree bands the byte must not increase with degree.
+  const u8 p_low = priority_byte(1, 1);
+  const u8 p_mid = priority_byte(1, 100);
+  const u8 p_high = priority_byte(1, 100000);
+  EXPECT_GT(p_low, p_mid);
+  EXPECT_GT(p_mid, p_high);
+}
+
+TEST(EclMis, PriorityByteStaysInUndecidedRange) {
+  for (vidx v = 0; v < 2000; ++v) {
+    const u8 p = priority_byte(v, v % 1000);
+    EXPECT_GE(p, kUndecidedBase);
+    EXPECT_LE(p, kUndecidedTop);
+  }
+}
+
+TEST(EclMis, MetricsAccounting) {
+  sim::Device dev;
+  const auto g = gen::uniform_random(5000, 15000, 21);
+  const auto res = run(dev, g);
+  // Assigned vertices partition the graph.
+  EXPECT_EQ(static_cast<u64>(res.metrics.vertices_assigned.total),
+            g.num_vertices());
+  // Finalized = MIS members.
+  EXPECT_EQ(static_cast<u64>(res.metrics.vertices_finalized.total),
+            res.set_size);
+  // Iterations: every thread runs at least one.
+  EXPECT_GE(res.metrics.iterations.min, 1.0);
+  EXPECT_GE(res.metrics.iterations.max, res.metrics.iterations.mean);
+}
+
+TEST(EclMis, RoundRobinBalancesAssignment) {
+  sim::Device dev;
+  const auto g = gen::grid2d_torus(64);
+  const auto res = run(dev, g);
+  EXPECT_LE(res.metrics.vertices_assigned.max -
+                res.metrics.vertices_assigned.min,
+            1.0);
+}
+
+TEST(EclMis, BothVisibilityModesAreCorrect) {
+  const auto g = gen::preferential_attachment(4000, 5, 5);
+  for (const auto vis : {Visibility::kImmediate, Visibility::kRoundSnapshot}) {
+    sim::Device dev;
+    Options opt;
+    opt.visibility = vis;
+    const auto res = run(dev, g, opt);
+    EXPECT_TRUE(verify(g, res.status));
+  }
+}
+
+TEST(EclMis, SnapshotModeTakesMoreIterations) {
+  const auto g = gen::uniform_random(20000, 80000, 8);
+  sim::Device d1, d2;
+  Options immediate;
+  immediate.visibility = Visibility::kImmediate;
+  Options snapshot;  // default: kRoundSnapshot with pacing
+  const auto a = run(d1, g, immediate);
+  const auto b = run(d2, g, snapshot);
+  EXPECT_GT(b.metrics.iterations.mean, a.metrics.iterations.mean);
+}
+
+TEST(EclMis, DeterministicUnderDeterministicSchedule) {
+  const auto g = gen::rmat(12, 16000, 0.45, 0.22, 0.22, 12);
+  sim::Device d1, d2;
+  const auto a = run(d1, g);
+  const auto b = run(d2, g);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.metrics.iterations.mean, b.metrics.iterations.mean);
+  EXPECT_EQ(a.modeled_cycles, b.modeled_cycles);
+}
+
+TEST(EclMis, ShuffledSeedsVaryInternalsButStayValid) {
+  // The paper's Table 3: run-to-run iteration counts differ slightly while
+  // the result remains a valid MIS.
+  const auto g = gen::preferential_attachment(8000, 6, 77);
+  std::vector<double> means;
+  for (const u64 seed : {11ull, 22ull, 33ull}) {
+    sim::Device dev({}, seed, sim::ScheduleMode::kShuffled);
+    const auto res = run(dev, g);
+    EXPECT_TRUE(verify(g, res.status)) << "seed " << seed;
+    means.push_back(res.metrics.iterations.mean);
+  }
+  // Not all three runs should coincide exactly.
+  EXPECT_FALSE(means[0] == means[1] && means[1] == means[2]);
+}
+
+TEST(EclMis, SameSeedReproducesShuffledRun) {
+  const auto g = gen::uniform_random(6000, 18000, 9);
+  sim::Device d1({}, 123, sim::ScheduleMode::kShuffled);
+  sim::Device d2({}, 123, sim::ScheduleMode::kShuffled);
+  const auto a = run(d1, g);
+  const auto b = run(d2, g);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.metrics.iterations.max, b.metrics.iterations.max);
+}
+
+TEST(EclMis, SetSizeComparableToGreedy) {
+  // The degree-aware priority should produce sets at least as large as
+  // id-order greedy on power-law inputs (that is its purpose).
+  const auto g = gen::internet_topology(20000, 41);
+  sim::Device dev;
+  const auto res = run(dev, g);
+  const auto greedy = reference_greedy(g);
+  const usize greedy_size = static_cast<usize>(
+      std::count(greedy.begin(), greedy.end(), kIn));
+  EXPECT_GE(res.set_size, greedy_size * 95 / 100);
+}
+
+TEST(EclMis, VerifyRejectsNonIndependentSet) {
+  const auto g = from_edges(2, {{0, 1, 0}});
+  std::vector<u8> bad = {kIn, kIn};
+  EXPECT_FALSE(verify(g, bad));
+}
+
+TEST(EclMis, VerifyRejectsNonMaximalSet) {
+  const auto g = from_edges(3, {{0, 1, 0}});
+  std::vector<u8> bad = {kIn, kOut, kOut};  // vertex 2 could join
+  EXPECT_FALSE(verify(g, bad));
+}
+
+TEST(EclMis, VerifyRejectsUndecided) {
+  const auto g = from_edges(2, {{0, 1, 0}});
+  std::vector<u8> bad = {kIn, 100};
+  EXPECT_FALSE(verify(g, bad));
+}
+
+class MisSuiteTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(MisSuiteTest, ValidOnSuiteInput) {
+  const auto& spec = gen::general_inputs()[GetParam()];
+  const auto g = spec.make(gen::Scale::kTiny);
+  sim::Device dev;
+  const auto res = run(dev, g);
+  EXPECT_TRUE(verify(g, res.status)) << spec.name;
+  EXPECT_GT(res.set_size, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, MisSuiteTest,
+                         ::testing::Range<usize>(0, 17));
+
+TEST(EclMis, PacingDisabledStillValid) {
+  const auto g = gen::grid2d_torus(48);
+  sim::Device dev;
+  Options opt;
+  opt.quantum = 0;
+  const auto res = run(dev, g, opt);
+  EXPECT_TRUE(verify(g, res.status));
+}
+
+TEST(EclMis, SmallGridUsesFewThreadsGracefully) {
+  sim::Device dev;
+  Options opt;
+  opt.blocks = 1;
+  opt.threads_per_block = 32;
+  const auto g = gen::uniform_random(2000, 5000, 2);
+  const auto res = run(dev, g, opt);
+  EXPECT_TRUE(verify(g, res.status));
+  EXPECT_GT(res.metrics.vertices_assigned.mean, 50.0);
+}
+
+}  // namespace
+}  // namespace eclp::algos::mis

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "profile/conflict.hpp"
+#include "profile/counters.hpp"
+#include "profile/registry.hpp"
+#include "profile/series.hpp"
+
+namespace eclp::profile {
+namespace {
+
+// --- counters ------------------------------------------------------------------
+
+TEST(GlobalCounter, AccumulatesAndResets) {
+  GlobalCounter c;
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(c.total(), 42u);
+  EXPECT_EQ(c.kind(), "global");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GlobalCounter, SummaryIsSingleton) {
+  GlobalCounter c;
+  c.inc(7);
+  const auto s = c.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(BucketCounters, KindStrings) {
+  EXPECT_EQ(PerThreadCounter(4).kind(), "per-thread");
+  EXPECT_EQ(PerBlockCounter(4).kind(), "per-block");
+  EXPECT_EQ(PerVertexCounter(4).kind(), "per-vertex");
+}
+
+TEST(BucketCounter, PerBucketAccumulation) {
+  PerThreadCounter c(4);
+  c.inc(0);
+  c.inc(0);
+  c.inc(3, 10);
+  EXPECT_EQ(c.at(0), 2u);
+  EXPECT_EQ(c.at(1), 0u);
+  EXPECT_EQ(c.at(3), 10u);
+  EXPECT_EQ(c.total(), 12u);
+  const auto s = c.summary();
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(BucketCounter, OutOfRangeBucketThrows) {
+  PerBlockCounter c(2);
+  EXPECT_THROW(c.inc(2), CheckFailure);
+}
+
+TEST(BucketCounter, ResizeZeroes) {
+  PerVertexCounter c(2);
+  c.inc(1, 5);
+  c.resize(8);
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(BucketCounter, ResetKeepsSize) {
+  PerThreadCounter c(3);
+  c.inc(2, 9);
+  c.reset();
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+// --- registry -------------------------------------------------------------------
+
+TEST(Registry, MakeReturnsSameInstance) {
+  CounterRegistry reg;
+  auto& a = reg.make<GlobalCounter>("hits");
+  a.inc(5);
+  auto& b = reg.make<GlobalCounter>("hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  CounterRegistry reg;
+  reg.make<GlobalCounter>("x");
+  EXPECT_THROW(reg.make<PerThreadCounter>("x", 4), CheckFailure);
+}
+
+TEST(Registry, GetUnknownThrows) {
+  CounterRegistry reg;
+  EXPECT_THROW(reg.get("nope"), CheckFailure);
+}
+
+TEST(Registry, ResetAllClearsEverything) {
+  CounterRegistry reg;
+  reg.make<GlobalCounter>("a").inc(3);
+  reg.make<PerThreadCounter>("b", 2).inc(1, 4);
+  reg.reset_all();
+  EXPECT_EQ(reg.get("a").total(), 0u);
+  EXPECT_EQ(reg.get("b").total(), 0u);
+}
+
+TEST(Registry, ReportListsAllCounters) {
+  CounterRegistry reg;
+  reg.make<GlobalCounter>("alpha").inc(10);
+  reg.make<PerThreadCounter>("beta", 4).inc(0, 2);
+  const auto t = reg.report("title");
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("per-thread"), std::string::npos);
+}
+
+// --- series ---------------------------------------------------------------------
+
+TEST(IterationSeries, ColumnsAndRows) {
+  IterationSeries s({"work", "conflicts"});
+  s.add_row("Regular 1", {90.0, 12.0});
+  s.add_row("Regular 2", {40.0, 6.0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(1, 0), 40.0);
+  const auto col = s.column("conflicts");
+  EXPECT_EQ(col, (std::vector<double>{12.0, 6.0}));
+  EXPECT_THROW(s.column("nope"), CheckFailure);
+}
+
+TEST(IterationSeries, ArityEnforced) {
+  IterationSeries s({"a"});
+  EXPECT_THROW(s.add_row("x", {1.0, 2.0}), CheckFailure);
+}
+
+TEST(IterationSeries, TableRendering) {
+  IterationSeries s({"pct"});
+  s.add_row("Filter 1", {33.333});
+  const auto t = s.to_table("mst metrics", 1);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("Filter 1"), std::string::npos);
+  EXPECT_NE(text.find("33.3"), std::string::npos);
+}
+
+TEST(BlockSeries, RecordAndFind) {
+  BlockSeries s;
+  s.record(1, 1, {70, 68, 71});
+  s.record(1, 2, {10, 0, 3});
+  s.record(2, 1, {5, 0, 0});
+  EXPECT_EQ(s.size(), 3u);
+  ASSERT_NE(s.find(1, 2), nullptr);
+  EXPECT_EQ(s.find(1, 2)->per_block[0], 10u);
+  EXPECT_EQ(s.find(3, 1), nullptr);
+  EXPECT_EQ(s.max_inner(1), 2u);
+  EXPECT_EQ(s.max_inner(2), 1u);
+  EXPECT_EQ(s.max_outer(), 2u);
+}
+
+TEST(BlockSeries, TableCountsActiveBlocks) {
+  BlockSeries s;
+  s.record(1, 1, {3, 0, 0, 9});
+  const auto t = s.to_table("scc updates");
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[2], "2");  // active blocks
+  EXPECT_EQ(t.row(0)[3], "4");  // total blocks
+}
+
+TEST(BlockSeries, CsvHasOneLinePerBlock) {
+  BlockSeries s;
+  s.record(1, 1, {1, 2});
+  s.record(1, 2, {0, 4});
+  const std::string csv = s.to_csv();
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_NE(csv.find("1,2,1,4"), std::string::npos);
+}
+
+// --- conflict tracker ------------------------------------------------------------
+
+TEST(ConflictTracker, NoConflictsWhenLocationsDistinct) {
+  ConflictTracker t;
+  t.record(1, 100);
+  t.record(2, 101);
+  EXPECT_EQ(t.attempting_threads(), 2u);
+  EXPECT_EQ(t.conflicting_threads(), 0u);
+  EXPECT_EQ(t.contended_locations(), 0u);
+}
+
+TEST(ConflictTracker, SharedLocationConflictsAllParticipants) {
+  ConflictTracker t;
+  t.record(7, 1);
+  t.record(7, 2);
+  t.record(7, 3);
+  t.record(9, 4);
+  EXPECT_EQ(t.conflicting_threads(), 3u);
+  EXPECT_EQ(t.contended_locations(), 1u);
+  EXPECT_EQ(t.attempting_threads(), 4u);
+}
+
+TEST(ConflictTracker, RepeatedAttemptsBySameThreadDontConflict) {
+  ConflictTracker t;
+  t.record(5, 1);
+  t.record(5, 1);  // same thread hammering one location
+  EXPECT_EQ(t.conflicting_threads(), 0u);
+  EXPECT_EQ(t.num_events(), 2u);
+}
+
+TEST(ConflictTracker, ThreadCountedOnceAcrossLocations) {
+  ConflictTracker t;
+  t.record(1, 10);
+  t.record(1, 11);
+  t.record(2, 10);
+  t.record(2, 12);
+  EXPECT_EQ(t.conflicting_threads(), 3u);  // 10, 11, 12
+  EXPECT_EQ(t.contended_locations(), 2u);
+}
+
+TEST(ConflictTracker, ResetClears) {
+  ConflictTracker t;
+  t.record(1, 1);
+  t.record(1, 2);
+  t.reset();
+  EXPECT_EQ(t.num_events(), 0u);
+  EXPECT_EQ(t.conflicting_threads(), 0u);
+}
+
+}  // namespace
+}  // namespace eclp::profile

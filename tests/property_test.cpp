@@ -1,0 +1,156 @@
+// Property sweeps: every algorithm's invariants across every generator
+// family and several seeds — the broad net that catches generator-specific
+// edge cases the targeted tests miss.
+#include <gtest/gtest.h>
+
+#include "algos/baselines/fw_bw_scc.hpp"
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/common.hpp"
+#include "algos/gc/ecl_gc.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "algos/mst/ecl_mst.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/generators.hpp"
+#include "gen/meshes.hpp"
+#include "graph/properties.hpp"
+#include "graph/transforms.hpp"
+
+namespace eclp {
+namespace {
+
+struct UndirectedFamily {
+  const char* name;
+  graph::Csr (*make)(u64 seed);
+};
+
+graph::Csr make_grid(u64 seed) {
+  return graph::relabel(gen::grid2d_torus(24 + seed % 3 * 8),
+                        Rng(seed).permutation((24 + static_cast<u32>(seed % 3) * 8) *
+                                              (24 + static_cast<u32>(seed % 3) * 8)));
+}
+graph::Csr make_er(u64 seed) {
+  return gen::uniform_random(1500 + 100 * (seed % 5), 5000, seed);
+}
+graph::Csr make_rmat(u64 seed) {
+  return gen::rmat(11, 12000, 0.45, 0.22, 0.22, seed);
+}
+graph::Csr make_pa(u64 seed) { return gen::preferential_attachment(1800, 3, seed); }
+graph::Csr make_road(u64 seed) { return gen::road_network(36, 0.3, seed); }
+graph::Csr make_cliques(u64 seed) {
+  return gen::clique_union(1500, 500, 2, 12, seed);
+}
+graph::Csr make_citation(u64 seed) { return gen::citation(2000, 3.5, 0.3, seed); }
+
+const UndirectedFamily kFamilies[] = {
+    {"grid", make_grid},       {"er", make_er},
+    {"rmat", make_rmat},       {"pa", make_pa},
+    {"road", make_road},       {"cliques", make_cliques},
+    {"citation", make_citation},
+};
+
+class UndirectedProperty
+    : public ::testing::TestWithParam<std::tuple<usize, u64>> {
+ protected:
+  graph::Csr make() const {
+    return kFamilies[std::get<0>(GetParam())].make(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(UndirectedProperty, CcMatchesReference) {
+  const auto g = make();
+  sim::Device dev;
+  EXPECT_TRUE(algos::cc::verify(g, algos::cc::run(dev, g).labels));
+}
+
+TEST_P(UndirectedProperty, MisIsIndependentAndMaximal) {
+  const auto g = make();
+  sim::Device dev;
+  EXPECT_TRUE(algos::mis::verify(g, algos::mis::run(dev, g).status));
+}
+
+TEST_P(UndirectedProperty, GcIsProperAndBounded) {
+  const auto g = make();
+  sim::Device dev;
+  const auto res = algos::gc::run(dev, g);
+  EXPECT_TRUE(algos::gc::verify(g, res.colors));
+  EXPECT_LE(res.num_colors, graph::degree_stats(g).max + 1);
+}
+
+TEST_P(UndirectedProperty, MstMatchesKruskal) {
+  const auto g = graph::with_random_weights(make(), std::get<1>(GetParam()));
+  sim::Device dev;
+  const auto res = algos::mst::run(dev, g);
+  EXPECT_EQ(res.total_weight, algos::mst::reference_total_weight(g));
+  EXPECT_TRUE(algos::mst::verify(g, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, UndirectedProperty,
+    ::testing::Combine(::testing::Range<usize>(0, std::size(kFamilies)),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+// Directed families for the SCC algorithms.
+class DirectedProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DirectedProperty, EclSccAndFwBwAgreeWithTarjanOnMeshMix) {
+  const u64 seed = GetParam();
+  for (const auto& g :
+       {gen::toroid_wedge(20 + seed % 4 * 4, seed), gen::cold_flow(24, seed),
+        gen::star_mesh(12 + static_cast<u32>(seed % 5), 40, seed),
+        gen::klein_bottle(16, seed)}) {
+    sim::Device d1, d2;
+    const auto ecl = algos::scc::run(d1, g);
+    EXPECT_TRUE(algos::scc::verify(g, ecl.scc_id));
+    const auto fwbw = algos::baselines::fw_bw_scc(d2, g);
+    EXPECT_EQ(algos::normalize_labels(ecl.scc_id),
+              algos::normalize_labels(fwbw.scc_id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedProperty,
+                         ::testing::Values(5ull, 6ull, 7ull, 8ull));
+
+// Transform properties: algorithm results are invariant under relabeling.
+TEST(RelabelInvariance, CcComponentCountStable) {
+  const auto g = gen::uniform_random(2000, 4500, 11);
+  const auto r = graph::relabel(g, Rng(3).permutation(g.num_vertices()));
+  sim::Device d1, d2;
+  const auto count = [](std::span<const vidx> labels) {
+    usize c = 0;
+    for (usize v = 0; v < labels.size(); ++v) c += (labels[v] == v);
+    return c;
+  };
+  EXPECT_EQ(count(algos::cc::run(d1, g).labels),
+            count(algos::cc::run(d2, r).labels));
+}
+
+TEST(RelabelInvariance, MstWeightStable) {
+  const auto g = graph::with_random_weights(gen::grid2d_torus(20), 9);
+  // Relabel but carry the same weights (permutation preserves them).
+  const auto r = graph::relabel(g, Rng(5).permutation(g.num_vertices()));
+  sim::Device d1, d2;
+  EXPECT_EQ(algos::mst::run(d1, g).total_weight,
+            algos::mst::run(d2, r).total_weight);
+}
+
+TEST(RelabelInvariance, SccCountStable) {
+  const auto g = gen::cold_flow(24, 13);
+  const auto r = graph::relabel(g, Rng(7).permutation(g.num_vertices()));
+  sim::Device d1, d2;
+  EXPECT_EQ(algos::scc::run(d1, g).num_sccs, algos::scc::run(d2, r).num_sccs);
+}
+
+TEST(RelabelInvariance, GcColorCountNearStable) {
+  // JP color count depends on the LDF tie-break order, so allow slack.
+  const auto g = gen::rmat(11, 10000, 0.45, 0.22, 0.22, 17);
+  const auto r = graph::relabel(g, Rng(9).permutation(g.num_vertices()));
+  sim::Device d1, d2;
+  const auto a = algos::gc::run(d1, g);
+  const auto b = algos::gc::run(d2, r);
+  EXPECT_TRUE(algos::gc::verify(r, b.colors));
+  EXPECT_NEAR(static_cast<double>(a.num_colors),
+              static_cast<double>(b.num_colors), 4.0);
+}
+
+}  // namespace
+}  // namespace eclp

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace eclp {
+namespace {
+
+// --- check -------------------------------------------------------------------
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(ECLP_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailureThrowsWithExpression) {
+  try {
+    ECLP_CHECK(1 == 2);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsStreamed) {
+  try {
+    const int x = 41;
+    ECLP_CHECK_MSG(x == 42, "x=" << x);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("x=41"), std::string::npos);
+  }
+}
+
+// --- prng --------------------------------------------------------------------
+
+TEST(Prng, SplitmixIsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Avalanche smoke check: one-bit input change flips many output bits.
+  const u64 d = splitmix64(0) ^ splitmix64(1);
+  EXPECT_GT(std::popcount(d), 16);
+}
+
+TEST(Prng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDifferentStreams) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, BelowStaysInBounds) {
+  Rng rng(123);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, BelowCoversSmallRangeUniformly) {
+  Rng rng(99);
+  std::array<int, 4> hits{};
+  for (int i = 0; i < 8000; ++i) hits[rng.below(4)]++;
+  for (const int h : hits) {
+    EXPECT_GT(h, 1700);
+    EXPECT_LT(h, 2300);
+  }
+}
+
+TEST(Prng, RangeInclusive) {
+  Rng rng(4);
+  std::set<i64> seen;
+  for (int i = 0; i < 500; ++i) {
+    const i64 v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, UnitInHalfOpenInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, PermutationIsPermutation) {
+  Rng rng(3);
+  const auto p = rng.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (const u32 v : p) {
+    ASSERT_LT(v, 257u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Prng, ShuffleKeepsMultiset) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 2, 3, 5, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Prng, ReseedResetsStream) {
+  Rng rng(1);
+  const u64 first = rng();
+  rng();
+  rng.reseed(1);
+  EXPECT_EQ(rng(), first);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<u64> xs = {1, 2, 3, 4, 5};
+  const auto s = stats::summarize(std::span<const u64>(xs));
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.total, 15.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, SummaryOfEmptySample) {
+  const auto s = stats::summarize(std::span<const u64>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(stats::median(std::span<const double>(odd)), 3.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(stats::median(std::span<const double>(even)), 2.5);
+}
+
+TEST(Stats, PercentileEndpointsAndMiddle) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(stats::pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(stats::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonUncorrelatedNearZero) {
+  Rng rng(21);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.unit());
+    ys.push_back(rng.unit());
+  }
+  EXPECT_LT(std::abs(stats::pearson(xs, ys)), 0.05);
+}
+
+TEST(Stats, MedianCiCoversMedian) {
+  std::vector<double> xs;
+  Rng rng(8);
+  for (int i = 0; i < 101; ++i) xs.push_back(rng.unit());
+  const auto ci = stats::median_ci95(xs);
+  const double med = stats::median(xs);
+  EXPECT_LE(ci.lo, med);
+  EXPECT_GE(ci.hi, med);
+}
+
+TEST(Stats, MedianCiSmallSampleIsRange) {
+  const std::vector<double> xs = {3, 1, 2};
+  const auto ci = stats::median_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Stats, OnlineMatchesBatch) {
+  Rng rng(31);
+  std::vector<double> xs;
+  stats::Online online;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.unit() * 100 - 50;
+    xs.push_back(x);
+    online.add(x);
+  }
+  const auto batch = stats::summarize(std::span<const double>(xs));
+  EXPECT_EQ(online.count(), batch.count);
+  EXPECT_NEAR(online.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(online.stddev(), batch.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(online.min(), batch.min);
+  EXPECT_DOUBLE_EQ(online.max(), batch.max);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, TextRenderingContainsAllCells) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string text = t.to_text();
+  for (const char* needle : {"demo", "name", "value", "alpha", "beta", "22"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt::fixed(2.345, 2), "2.35");
+  EXPECT_EQ(fmt::fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt::grouped(1234567), "1,234,567");
+  EXPECT_EQ(fmt::grouped(12), "12");
+  EXPECT_EQ(fmt::signed_pct(3.333, 2), "+3.33");
+  EXPECT_EQ(fmt::signed_pct(-0.52, 2), "-0.52");
+  EXPECT_EQ(fmt::sci(1.05e6, 2), "1.05e+06");
+}
+
+// --- cli ---------------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  Cli cli;
+  cli.add_option("scale", "input scale", "default");
+  cli.add_option("runs", "repetitions", "3");
+  cli.add_flag("verbose", "chatty output");
+  const char* argv[] = {"prog", "--scale=small", "--runs", "9", "--verbose",
+                        "positional"};
+  cli.parse(6, argv);
+  EXPECT_EQ(cli.get("scale"), "small");
+  EXPECT_EQ(cli.get_int("runs"), 9);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli;
+  cli.add_option("runs", "repetitions", "3");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("runs"), 3);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), CheckFailure);
+}
+
+TEST(Cli, NonNumericValueThrows) {
+  Cli cli;
+  cli.add_option("runs", "repetitions", "3");
+  const char* argv[] = {"prog", "--runs=abc"};
+  cli.parse(2, argv);
+  EXPECT_THROW(cli.get_int("runs"), std::exception);
+}
+
+TEST(Cli, UsageMentionsOptions) {
+  Cli cli;
+  cli.add_option("scale", "input scale", "default");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("input scale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclp
