@@ -118,6 +118,51 @@ void BM_EclSccEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_EclSccEndToEnd);
 
+// --- parallel scaling --------------------------------------------------------
+// Block-parallel dispatch of block-independent launches across the host
+// pool. The interesting numbers are the 1-worker run (must not regress
+// against the pre-pool sequential path) and the speedup at 2/4/8 workers;
+// on a single-core machine the >1-worker rows only measure scheduling
+// overhead. Results are bit-identical at every worker count by design —
+// these benches measure wall clock only.
+
+/// A launch shaped like SCC propagation's per-block sweep loop: every
+/// thread scans an edge stripe and does Jacobi-style buffered updates.
+void BM_PoolScalingSccPropagate(benchmark::State& state) {
+  const u32 workers = static_cast<u32>(state.range(0));
+  sim::Pool pool(workers);
+  const auto g = gen::cold_flow(96, 3);
+  for (auto _ : state) {
+    sim::Device dev;
+    dev.set_pool(workers > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(algos::scc::run(dev, g));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_PoolScalingSccPropagate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// A pure compute-heavy block-independent map, the best case for scaling.
+void BM_PoolScalingMapKernel(benchmark::State& state) {
+  const u32 workers = static_cast<u32>(state.range(0));
+  sim::Pool pool(workers);
+  sim::LaunchConfig cfg{64, 256};
+  cfg.block_independent = true;
+  for (auto _ : state) {
+    sim::Device dev;
+    dev.set_pool(workers > 1 ? &pool : nullptr);
+    dev.launch("map", cfg, [](sim::ThreadCtx& ctx) {
+      u64 acc = ctx.global_id();
+      for (int i = 0; i < 64; ++i) acc = acc * 6364136223846793005ULL + 1;
+      benchmark::DoNotOptimize(acc);
+      ctx.charge_alu(64);
+    });
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          cfg.total_threads());
+}
+BENCHMARK(BM_PoolScalingMapKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_TarjanReference(benchmark::State& state) {
   const auto g = gen::klein_bottle(64, 3);
   for (auto _ : state) {

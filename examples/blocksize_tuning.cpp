@@ -20,7 +20,14 @@ int main(int argc, char** argv) {
                           "cold-flow, klein-bottle)",
                  "star");
   cli.add_option("scale", "tiny|small|default", "small");
+  cli.add_option("sim-threads",
+                 "host workers for block-parallel simulation "
+                 "(0 = one per hardware thread)",
+                 "");
   cli.parse(argc, argv);
+  if (!cli.get("sim-threads").empty()) {
+    sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
+  }
   const auto g =
       gen::find_input(cli.get("input")).make(gen::parse_scale(cli.get("scale")));
 

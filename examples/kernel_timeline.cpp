@@ -19,7 +19,14 @@ int main(int argc, char** argv) {
   cli.add_option("input", "suite input name", "amazon0601");
   cli.add_option("scale", "tiny|small|default", "small");
   cli.add_option("csv", "write the raw per-launch timeline here", "");
+  cli.add_option("sim-threads",
+                 "host workers for block-parallel simulation "
+                 "(0 = one per hardware thread)",
+                 "");
   cli.parse(argc, argv);
+  if (!cli.get("sim-threads").empty()) {
+    sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
+  }
 
   const auto g = graph::with_random_weights(
       gen::find_input(cli.get("input")).make(gen::parse_scale(cli.get("scale"))),

@@ -22,7 +22,14 @@ int main(int argc, char** argv) {
   cli.add_option("input", "suite input name (see gen/suite.hpp)",
                  "europe_osm");
   cli.add_option("scale", "tiny|small|default", "small");
+  cli.add_option("sim-threads",
+                 "host workers for block-parallel simulation "
+                 "(0 = one per hardware thread)",
+                 "");
   cli.parse(argc, argv);
+  if (!cli.get("sim-threads").empty()) {
+    sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
+  }
 
   // 1. Get a graph. Any undirected graph::Csr works; the suite mirrors the
   //    paper's Table 1 inputs.

@@ -119,10 +119,20 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // Original: scan the adjacency list for the first smaller neighbor.
   // Optimized (§6.2.2): adjacency is sorted, so only the first entry can be
   // the first smaller neighbor.
-  dev.launch("cc_init", blocks_for(n, opt.threads_per_block),
+  //
+  // Every thread writes only its own vertices' slots, so the launch is
+  // block-independent; the profile tallies go through per-block partials
+  // summed in block order. (The compute and finalize kernels below are NOT
+  // block-independent: hook() CAS outcomes and finalize chain lengths depend
+  // on cross-block write visibility, so they stay sequential.)
+  sim::LaunchConfig init_cfg = blocks_for(n, opt.threads_per_block);
+  init_cfg.block_independent = true;
+  std::vector<u64> initialized_pb(init_cfg.blocks, 0);
+  std::vector<u64> traversed_pb(init_cfg.blocks, 0);
+  dev.launch("cc_init", init_cfg,
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 prof.vertices_initialized++;
+                 initialized_pb[ctx.block_idx()]++;
                  const auto nbrs = g.neighbors(v);
                  ctx.charge_coalesced_reads(2);  // row offsets, streaming
                  vidx label = v;
@@ -146,7 +156,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
                      }
                    }
                  }
-                 prof.init_neighbors_traversed += traversed;
+                 traversed_pb[ctx.block_idx()] += traversed;
                  if (opt.record_per_vertex_traversals) {
                    res.init_traversal_per_vertex[v] = traversed;
                  }
@@ -154,6 +164,8 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
                  ctx.charge_coalesced_writes(1);  // own slot, streaming
                }
              });
+  for (const u64 c : initialized_pb) prof.vertices_initialized += c;
+  for (const u64 c : traversed_pb) prof.init_neighbors_traversed += c;
   res.init_cycles = dev.total_cycles() - cycles_before;
 
   // --- degree binning --------------------------------------------------------

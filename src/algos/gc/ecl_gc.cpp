@@ -100,7 +100,12 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // DAG in-neighbors (higher-priority endpoints) per vertex, flattened.
   std::vector<u32> indeg(n, 0);
   std::vector<eidx> dag_off(static_cast<usize>(n) + 1, 0);
-  dev.launch("gc_init_degree", blocks_for(n, opt.threads_per_block),
+  // Both init kernels are pure per-vertex maps (each thread fills only its
+  // own vertices' slots), so they run block-parallel; the coloring rounds
+  // below depend on cross-block color visibility and stay sequential.
+  sim::LaunchConfig init_cfg = blocks_for(n, opt.threads_per_block);
+  init_cfg.block_independent = true;
+  dev.launch("gc_init_degree", init_cfg,
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
                  u32 d = 0;
@@ -114,7 +119,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   for (vidx v = 0; v < n; ++v) dag_off[v + 1] = dag_off[v] + indeg[v];
   std::vector<vidx> dag_in(dag_off[n]);
   std::vector<u8> dep_removed(dag_off[n], 0);  // Shortcut 2 edge removal
-  dev.launch("gc_init_dag", blocks_for(n, opt.threads_per_block),
+  dev.launch("gc_init_dag", init_cfg,
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
                  eidx pos = dag_off[v];

@@ -63,7 +63,12 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     }
     return kUndecidedBase;
   };
-  dev.launch("mis_init", cfg, [&](sim::ThreadCtx& ctx) {
+  // Pure per-vertex map (each thread writes only its own vertices' bytes):
+  // safe to fan blocks across the host pool. The selection kernel below is
+  // not — its mid-round snapshot refreshes are order-dependent by design.
+  sim::LaunchConfig init_cfg = cfg;
+  init_cfg.block_independent = true;
+  dev.launch("mis_init", init_cfg, [&](sim::ThreadCtx& ctx) {
     for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
       ctx.charge_reads(2);  // degree from row offsets
       ctx.store(stat[v], byte_of(v));

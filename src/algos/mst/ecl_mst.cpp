@@ -79,12 +79,16 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // --- initialization ---------------------------------------------------------
   std::vector<vidx> parent(n);
   std::vector<u64> best(n, kNoBest);
-  dev.launch("mst_init", blocks_for(std::max<u64>(n, 1), opt.threads_per_block),
-             [&](sim::ThreadCtx& ctx) {
-               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 ctx.store(parent[v], v);
-               }
-             });
+  // Pure per-vertex map — block-independent, unlike the K1-K3 rounds below,
+  // whose atomicMin winners depend on cross-block visibility.
+  sim::LaunchConfig init_cfg =
+      blocks_for(std::max<u64>(n, 1), opt.threads_per_block);
+  init_cfg.block_independent = true;
+  dev.launch("mst_init", init_cfg, [&](sim::ThreadCtx& ctx) {
+    for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+      ctx.store(parent[v], v);
+    }
+  });
 
   // Light/heavy split (the filter step for denser graphs, paper §2.4).
   weight_t threshold = ~weight_t{0};

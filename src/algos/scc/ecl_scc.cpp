@@ -46,6 +46,13 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
       blocks_for(prop_threads, opt.threads_per_block);
   const sim::LaunchConfig vertex_cfg =
       blocks_for(std::max<u64>(n, 1), opt.threads_per_block);
+  // The vertex-parallel kernels below touch only their own vertices' slots
+  // (grid-stride partition), and scc_propagate follows the launch-snapshot
+  // discipline by construction — all are safe to run block-parallel.
+  sim::LaunchConfig prop_par_cfg = prop_cfg;
+  prop_par_cfg.block_independent = true;
+  sim::LaunchConfig vertex_par_cfg = vertex_cfg;
+  vertex_par_cfg.block_independent = true;
 
   // Live in/out arc counts, maintained as edges die (used by trimming).
   std::vector<u32> alive_out(n, 0), alive_in(n, 0);
@@ -65,8 +72,10 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     // settle it as a singleton and let its arcs die, repeating to a fixed
     // point (chains peel completely without any propagation).
     while (opt.trim) {
-      u64 trimmed = 0;
-      dev.launch("scc_trim", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+      // Per-block partial counts, summed in block order after the launch so
+      // the total never depends on block execution order.
+      std::vector<u64> trimmed_per_block(vertex_cfg.blocks, 0);
+      dev.launch("scc_trim", vertex_par_cfg, [&](sim::ThreadCtx& ctx) {
         for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
           ctx.charge_coalesced_reads(3);
           if (settled[v]) continue;
@@ -74,10 +83,12 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
             ctx.charge_writes(2);
             res.scc_id[v] = v;
             settled[v] = 1;
-            ++trimmed;
+            ++trimmed_per_block[ctx.block_idx()];
           }
         }
       });
+      u64 trimmed = 0;
+      for (const u64 t : trimmed_per_block) trimmed += t;
       if (trimmed == 0) break;
       res.trimmed_vertices += trimmed;
       remaining -= trimmed;
@@ -103,7 +114,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     if (remaining == 0) break;
 
     // --- stage 1: signature initialization ----------------------------------
-    dev.launch("scc_init_signatures", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+    dev.launch("scc_init_signatures", vertex_par_cfg, [&](sim::ThreadCtx& ctx) {
       for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
         ctx.charge_reads(1);
         if (settled[v]) continue;
@@ -139,16 +150,21 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
       vidx* slot;
       vidx value;
     };
-    std::vector<Intent> local_intents;
-    std::vector<Intent> remote_intents;
+    // Per-block intent buffers and update tallies: block b only ever touches
+    // index b, which is what makes this launch block-independent. Remote
+    // intents are applied host-side in block-index order after the launch,
+    // and the tallies are summed the same way, so the numbers match a
+    // sequential block sweep exactly.
+    std::vector<std::vector<Intent>> local_intents(prop_cfg.blocks);
+    std::vector<std::vector<Intent>> remote_intents(prop_cfg.blocks);
     while (true) {
       ++inner_n;
       vin_snap = vin;  // launch-start snapshot (a device-side copy)
       vout_snap = vout;
       std::vector<u64> block_updates(prop_cfg.blocks, 0);
-      u64 launch_updates = 0;
+      std::vector<u64> local_updates(prop_cfg.blocks, 0);
       dev.launch_block_jacobi(
-          "scc_propagate", prop_cfg,
+          "scc_propagate", prop_par_cfg,
           [&](sim::ThreadCtx& ctx, u64 /*inner_iter*/) {
             const u32 b = ctx.block_idx();
             const u64 begin =
@@ -161,51 +177,65 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
               const vidx u = arcs[e].src, w = arcs[e].dst;
               ctx.charge_reads(2);  // the two signature loads
               // v_out flows backwards (source learns what the destination
-              // can reach); v_in flows forwards.
+              // can reach); v_in flows forwards. Every read of a vertex
+              // homed in another block comes from the launch-start snapshot
+              // — guards included, or the guard itself would peek at
+              // another block's in-flight writes.
               const vidx vout_w = home_block[w] == b ? vout[w] : vout_snap[w];
-              if (vout_w > vout[u]) {
+              const vidx vout_u = home_block[u] == b ? vout[u] : vout_snap[u];
+              if (vout_w > vout_u) {
                 ctx.charge_atomics(1);
-                (home_block[u] == b ? local_intents : remote_intents)
+                (home_block[u] == b ? local_intents : remote_intents)[b]
                     .push_back({&vout[u], vout_w});
               }
               const vidx vin_u = home_block[u] == b ? vin[u] : vin_snap[u];
-              if (vin_u > vin[w]) {
+              const vidx vin_w = home_block[w] == b ? vin[w] : vin_snap[w];
+              if (vin_u > vin_w) {
                 ctx.charge_atomics(1);
-                (home_block[w] == b ? local_intents : remote_intents)
+                (home_block[w] == b ? local_intents : remote_intents)[b]
                     .push_back({&vin[w], vin_u});
               }
             }
           },
           [&](u32 block, u64 /*inner_iter*/) {
             bool any = false;
-            for (const Intent& intent : local_intents) {
+            for (const Intent& intent : local_intents[block]) {
               // Resolve the buffered atomicMax; classify its outcome for
-              // the device-wide atomic statistics (paper §3.1.5).
+              // the device-wide atomic statistics (paper §3.1.5). Local
+              // intents only target vertices homed in this block, so the
+              // live compare races with nobody.
               if (intent.value > *intent.slot) {
                 *intent.slot = intent.value;
                 any = true;
                 block_updates[block]++;
-                launch_updates++;
-                dev.atomic_stats().record(sim::AtomicOutcome::kMaxEffective);
+                local_updates[block]++;
+                dev.record_block_atomic(block,
+                                        sim::AtomicOutcome::kMaxEffective);
               } else {
-                dev.atomic_stats().record(
-                    sim::AtomicOutcome::kMaxIneffective);
+                dev.record_block_atomic(block,
+                                        sim::AtomicOutcome::kMaxIneffective);
               }
             }
-            local_intents.clear();
+            local_intents[block].clear();
             return any;
           });
-      // Cross-block updates become visible only now, at launch end.
-      for (const Intent& intent : remote_intents) {
-        if (intent.value > *intent.slot) {
-          *intent.slot = intent.value;
-          launch_updates++;
-          dev.atomic_stats().record(sim::AtomicOutcome::kMaxEffective);
-        } else {
-          dev.atomic_stats().record(sim::AtomicOutcome::kMaxIneffective);
+      // Cross-block updates become visible only now, at launch end; applying
+      // them block by block reproduces the order a sequential sweep with one
+      // shared buffer would have produced.
+      u64 launch_updates = 0;
+      for (const u64 u : local_updates) launch_updates += u;
+      for (u32 b = 0; b < prop_cfg.blocks; ++b) {
+        for (const Intent& intent : remote_intents[b]) {
+          if (intent.value > *intent.slot) {
+            *intent.slot = intent.value;
+            launch_updates++;
+            dev.atomic_stats().record(sim::AtomicOutcome::kMaxEffective);
+          } else {
+            dev.atomic_stats().record(sim::AtomicOutcome::kMaxIneffective);
+          }
         }
+        remote_intents[b].clear();
       }
-      remote_intents.clear();
       if (opt.record_series) {
         res.series.record(m, inner_n, std::move(block_updates));
       }
@@ -214,18 +244,20 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     res.inner_per_outer.push_back(inner_n);
 
     // --- stage 3: matching + edge removal ------------------------------------
-    u64 newly_settled = 0;
-    dev.launch("scc_match", vertex_cfg, [&](sim::ThreadCtx& ctx) {
+    std::vector<u64> settled_per_block(vertex_cfg.blocks, 0);
+    dev.launch("scc_match", vertex_par_cfg, [&](sim::ThreadCtx& ctx) {
       for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
         ctx.charge_reads(1);
         if (settled[v]) continue;
         if (ctx.load(vin[v]) == ctx.load(vout[v])) {
           ctx.store(res.scc_id[v], vin[v]);
           ctx.store(settled[v], u8{1});
-          newly_settled++;
+          ++settled_per_block[ctx.block_idx()];
         }
       }
     });
+    u64 newly_settled = 0;
+    for (const u64 s : settled_per_block) newly_settled += s;
     dev.launch("scc_remove_edges", prop_cfg, [&](sim::ThreadCtx& ctx) {
       const u64 begin =
           static_cast<u64>(ctx.global_id()) * opt.edges_per_thread;

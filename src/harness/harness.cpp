@@ -16,6 +16,11 @@ BenchContext parse(int argc, const char* const* argv,
   ctx.cli.add_option("scale", "input scale: tiny|small|default", "small");
   ctx.cli.add_option("out", "directory for CSV copies", "bench_results");
   ctx.cli.add_option("runs", "repetitions for median measurements", "3");
+  ctx.cli.add_option("sim-threads",
+                     "host worker threads for block-parallel simulation "
+                     "(0 = one per hardware thread; overrides "
+                     "ECLP_SIM_THREADS)",
+                     "");
   ctx.cli.add_flag("help", "show usage");
   ctx.cli.parse(argc, argv);
   if (ctx.cli.get_flag("help")) {
@@ -26,6 +31,9 @@ BenchContext parse(int argc, const char* const* argv,
   ctx.out_dir = ctx.cli.get("out");
   ctx.runs = static_cast<int>(ctx.cli.get_int("runs"));
   ECLP_CHECK(ctx.runs >= 1);
+  if (!ctx.cli.get("sim-threads").empty()) {
+    sim::set_sim_threads(static_cast<u32>(ctx.cli.get_int("sim-threads")));
+  }
   std::cout << description << "  [scale=" << ctx.cli.get("scale")
             << ", runs=" << ctx.runs << "]\n\n";
   return ctx;

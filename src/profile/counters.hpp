@@ -16,14 +16,29 @@
 //
 // All counters expose summary() so reports can print the Avg/Max columns the
 // paper's tables use.
+//
+// Host parallelism: block-independent launches (sim/device.hpp) may execute
+// kernel bodies on several host worker threads at once, so inc() routes
+// through a per-worker *shard* keyed on the calling thread's worker slot
+// (support/worker.hpp). Shards are folded in worker-slot order when a value
+// is read. Because every fold is a sum of u64 event counts, the totals are
+// bit-identical for any worker count and any steal schedule. Reads
+// (value/total/at/values/summary) must not race with in-flight kernel
+// writes — the simulator guarantees this by joining every launch before it
+// returns.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "support/check.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
+#include "support/worker.hpp"
 
 namespace eclp::profile {
 
@@ -44,57 +59,111 @@ class Counter {
   Counter() = default;
 };
 
-/// Cumulative event count across all threads.
+/// Cumulative event count across all threads. Increments land in the
+/// calling worker's cache-line-padded shard; value() is the shard sum.
 class GlobalCounter final : public Counter {
  public:
-  void inc(u64 n = 1) { value_ += n; }
-  u64 value() const { return value_; }
+  void inc(u64 n = 1) { shards_[current_worker_slot()].count += n; }
+  u64 value() const {
+    u64 t = 0;
+    for (const Shard& s : shards_) t += s.count;
+    return t;
+  }
 
-  void reset() override { value_ = 0; }
-  u64 total() const override { return value_; }
+  void reset() override {
+    for (Shard& s : shards_) s.count = 0;
+  }
+  u64 total() const override { return value(); }
   std::string kind() const override { return "global"; }
   stats::Summary summary() const override {
     stats::Summary s;
     s.count = 1;
-    s.total = s.min = s.max = s.mean = static_cast<double>(value_);
+    s.total = s.min = s.max = s.mean = static_cast<double>(value());
     return s;
   }
 
  private:
-  u64 value_ = 0;
+  struct alignas(64) Shard {
+    u64 count = 0;
+  };
+  std::array<Shard, kMaxWorkerSlots> shards_{};
 };
 
-/// One counter slot per bucket (thread / block / vertex).
+/// One counter slot per bucket (thread / block / vertex). Increments from
+/// pool workers land in lazily allocated per-worker shard vectors; reads
+/// fold the shards into the primary slots in worker-slot order first.
 class BucketCounter : public Counter {
  public:
   explicit BucketCounter(usize buckets = 0) : slots_(buckets, 0) {}
 
   /// (Re)size, zeroing all slots. Call before each instrumented launch with
   /// the launch's thread/block count.
-  void resize(usize buckets) { slots_.assign(buckets, 0); }
+  void resize(usize buckets) {
+    slots_.assign(buckets, 0);
+    drop_shards();
+  }
   usize size() const { return slots_.size(); }
 
   void inc(usize bucket, u64 n = 1) {
     ECLP_CHECK_MSG(bucket < slots_.size(),
                    "counter bucket " << bucket << " out of range "
                                      << slots_.size());
-    slots_[bucket] += n;
+    const u32 slot = current_worker_slot();
+    if (slot == 0) {
+      slots_[bucket] += n;
+      return;
+    }
+    // Worker slot s only ever touches shards_[s - 1], so lazy allocation
+    // needs no synchronization.
+    auto& shard = shards_[slot - 1];
+    if (shard == nullptr) {
+      shard = std::make_unique<std::vector<u64>>(slots_.size(), 0);
+    }
+    (*shard)[bucket] += n;
   }
-  u64 at(usize bucket) const { return slots_.at(bucket); }
-  std::span<const u64> values() const { return slots_; }
+  u64 at(usize bucket) const {
+    consolidate();
+    return slots_.at(bucket);
+  }
+  std::span<const u64> values() const {
+    consolidate();
+    return slots_;
+  }
 
-  void reset() override { std::fill(slots_.begin(), slots_.end(), 0); }
+  void reset() override {
+    std::fill(slots_.begin(), slots_.end(), 0);
+    drop_shards();
+  }
   u64 total() const override {
+    consolidate();
     u64 t = 0;
     for (const u64 v : slots_) t += v;
     return t;
   }
   stats::Summary summary() const override {
+    consolidate();
     return stats::summarize(std::span<const u64>(slots_));
   }
 
  private:
-  std::vector<u64> slots_;
+  /// Fold worker shards into the primary slots (worker-slot order; sums,
+  /// so the result is independent of which worker ran which block).
+  void consolidate() const {
+    for (auto& shard : shards_) {
+      if (shard == nullptr) continue;
+      for (usize i = 0; i < slots_.size(); ++i) {
+        slots_[i] += (*shard)[i];
+        (*shard)[i] = 0;
+      }
+    }
+  }
+  void drop_shards() {
+    for (auto& shard : shards_) shard.reset();
+  }
+
+  mutable std::vector<u64> slots_;
+  mutable std::array<std::unique_ptr<std::vector<u64>>, kMaxWorkerSlots - 1>
+      shards_{};
 };
 
 class PerThreadCounter final : public BucketCounter {

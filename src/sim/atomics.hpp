@@ -36,6 +36,10 @@ class AtomicStats {
   void record(AtomicOutcome o) { counts_[static_cast<usize>(o)]++; }
   u64 count(AtomicOutcome o) const { return counts_[static_cast<usize>(o)]; }
   void reset() { counts_.fill(0); }
+  /// Fold another tally into this one (per-block shard merges).
+  void merge(const AtomicStats& other) {
+    for (usize i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
 
   u64 cas_total() const {
     return count(AtomicOutcome::kCasSuccess) +

@@ -12,7 +12,11 @@ u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
 }  // namespace
 
 Device::Device(CostModel cost, u64 seed, ScheduleMode mode)
-    : cost_(cost), seed_(seed), mode_(mode), rng_(splitmix64(seed)) {
+    : cost_(cost),
+      seed_(seed),
+      mode_(mode),
+      rng_(splitmix64(seed)),
+      pool_(shared_pool()) {
   ECLP_CHECK(cost_.lanes_per_sm > 0);
   ECLP_CHECK(cost_.sm_count > 0);
 }
@@ -21,15 +25,48 @@ void Device::charge(u32 global_thread, u64 cycles) {
   work_[global_thread] += cycles;
 }
 
-ThreadCtx Device::make_ctx(const LaunchConfig& cfg, u32 block, u32 thread) {
+ThreadCtx Device::make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
+                           AtomicStats* stats) {
   ThreadCtx ctx;
   ctx.device_ = this;
+  ctx.stats_ = stats == nullptr ? &atomics_ : stats;
   ctx.block_ = block;
   ctx.thread_ = thread;
   ctx.global_ = block * cfg.threads_per_block + thread;
   ctx.block_dim_ = cfg.threads_per_block;
   ctx.grid_dim_ = cfg.blocks;
   return ctx;
+}
+
+void Device::run_blocks(
+    const LaunchConfig& cfg,
+    const std::function<void(u32, AtomicStats&)>& block_body) {
+  std::vector<BlockStats> shards(cfg.blocks);
+  block_stats_ = &shards;
+  try {
+    if (pool_ != nullptr && pool_->size() > 1 && cfg.blocks > 1) {
+      pool_->run(cfg.blocks, [&](u64 b, u32 /*worker*/) {
+        block_body(static_cast<u32>(b), shards[b].stats);
+      });
+    } else {
+      for (u32 b = 0; b < cfg.blocks; ++b) block_body(b, shards[b].stats);
+    }
+  } catch (...) {
+    block_stats_ = nullptr;
+    throw;
+  }
+  block_stats_ = nullptr;
+  // Deterministic merge: block-index order, independent of which worker ran
+  // which block (and of whether a pool was attached at all).
+  for (u32 b = 0; b < cfg.blocks; ++b) atomics_.merge(shards[b].stats);
+}
+
+void Device::record_block_atomic(u32 block, AtomicOutcome outcome) {
+  if (block_stats_ != nullptr) {
+    (*block_stats_)[block].stats.record(outcome);
+  } else {
+    atomics_.record(outcome);
+  }
 }
 
 KernelCost Device::finalize_cost(const LaunchConfig& cfg,
@@ -80,9 +117,30 @@ KernelStats Device::launch(const std::string& name, LaunchConfig cfg,
                            const std::function<void(ThreadCtx&)>& body) {
   ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
   const u64 atomics_before = atomics_.total();
+  const u64 launch_index = launches_;
   work_.assign(cfg.total_threads(), 0);
 
-  if (mode_ == ScheduleMode::kDeterministic) {
+  if (cfg.block_independent) {
+    // Block-parallel path: each block runs to completion independently.
+    // Thread order within a block is id order, or a per-block shuffled
+    // stream — never a draw from the device-wide rng_, so the execution is
+    // a pure function of (seed, launch index, block) and bit-identical for
+    // any worker count.
+    run_blocks(cfg, [&](u32 b, AtomicStats& shard) {
+      if (mode_ == ScheduleMode::kDeterministic) {
+        for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+          ThreadCtx ctx = make_ctx(cfg, b, t, &shard);
+          body(ctx);
+        }
+      } else {
+        Rng block_rng(block_stream_seed(launch_index, b));
+        for (const u32 t : block_rng.permutation(cfg.threads_per_block)) {
+          ThreadCtx ctx = make_ctx(cfg, b, t, &shard);
+          body(ctx);
+        }
+      }
+    });
+  } else if (mode_ == ScheduleMode::kDeterministic) {
     for (u32 b = 0; b < cfg.blocks; ++b) {
       for (u32 t = 0; t < cfg.threads_per_block; ++t) {
         ThreadCtx ctx = make_ctx(cfg, b, t);
@@ -154,7 +212,7 @@ KernelStats Device::launch_block_iterative(
 
   std::vector<u64> block_iters(cfg.blocks, 0);
   std::vector<u64> block_sync(cfg.blocks, 0);
-  for (u32 b = 0; b < cfg.blocks; ++b) {
+  const auto run_block = [&](u32 b, AtomicStats* shard) {
     bool block_updated = true;
     u64 inner = 0;
     while (block_updated) {
@@ -165,7 +223,7 @@ KernelStats Device::launch_block_iterative(
       ++inner;
       block_updated = false;
       for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-        ThreadCtx ctx = make_ctx(cfg, b, t);
+        ThreadCtx ctx = make_ctx(cfg, b, t, shard);
         block_updated |= step(ctx, inner);
       }
       // Block-wide synchronization: every resident thread participates,
@@ -174,6 +232,11 @@ KernelStats Device::launch_block_iterative(
           static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
     }
     block_iters[b] = inner;
+  };
+  if (cfg.block_independent) {
+    run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
+  } else {
+    for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
   }
 
   KernelStats ks;
@@ -195,7 +258,7 @@ KernelStats Device::launch_block_jacobi(
 
   std::vector<u64> block_iters(cfg.blocks, 0);
   std::vector<u64> block_sync(cfg.blocks, 0);
-  for (u32 b = 0; b < cfg.blocks; ++b) {
+  const auto run_block = [&](u32 b, AtomicStats* shard) {
     bool block_updated = true;
     u64 inner = 0;
     while (block_updated) {
@@ -205,14 +268,22 @@ KernelStats Device::launch_block_jacobi(
                                              << " inner iterations");
       ++inner;
       for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-        ThreadCtx ctx = make_ctx(cfg, b, t);
+        ThreadCtx ctx = make_ctx(cfg, b, t, shard);
         step(ctx, inner);
       }
       block_sync[b] +=
           static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
+      // The commit callback records its resolved-intent outcomes through
+      // record_block_atomic(b, ...), which lands in this block's shard
+      // during a block-independent launch.
       block_updated = commit(b, inner);
     }
     block_iters[b] = inner;
+  };
+  if (cfg.block_independent) {
+    run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
+  } else {
+    for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
   }
 
   KernelStats ks;
@@ -271,9 +342,9 @@ u32 ThreadCtx::atomic_cas(u32& loc, u32 expected, u32 desired) {
   const u32 old = loc;
   if (old == expected) {
     loc = desired;
-    device_->atomics_.record(AtomicOutcome::kCasSuccess);
+    stats_->record(AtomicOutcome::kCasSuccess);
   } else {
-    device_->atomics_.record(AtomicOutcome::kCasFailure);
+    stats_->record(AtomicOutcome::kCasFailure);
   }
   return old;
 }
@@ -283,9 +354,9 @@ u64 ThreadCtx::atomic_cas(u64& loc, u64 expected, u64 desired) {
   const u64 old = loc;
   if (old == expected) {
     loc = desired;
-    device_->atomics_.record(AtomicOutcome::kCasSuccess);
+    stats_->record(AtomicOutcome::kCasSuccess);
   } else {
-    device_->atomics_.record(AtomicOutcome::kCasFailure);
+    stats_->record(AtomicOutcome::kCasFailure);
   }
   return old;
 }
@@ -294,10 +365,10 @@ bool ThreadCtx::atomic_min(u32& loc, u32 value) {
   device_->charge(global_, device_->cost_.atomic);
   if (value < loc) {
     loc = value;
-    device_->atomics_.record(AtomicOutcome::kMinEffective);
+    stats_->record(AtomicOutcome::kMinEffective);
     return true;
   }
-  device_->atomics_.record(AtomicOutcome::kMinIneffective);
+  stats_->record(AtomicOutcome::kMinIneffective);
   return false;
 }
 
@@ -305,10 +376,10 @@ bool ThreadCtx::atomic_max(u32& loc, u32 value) {
   device_->charge(global_, device_->cost_.atomic);
   if (value > loc) {
     loc = value;
-    device_->atomics_.record(AtomicOutcome::kMaxEffective);
+    stats_->record(AtomicOutcome::kMaxEffective);
     return true;
   }
-  device_->atomics_.record(AtomicOutcome::kMaxIneffective);
+  stats_->record(AtomicOutcome::kMaxIneffective);
   return false;
 }
 
@@ -316,10 +387,10 @@ bool ThreadCtx::atomic_min(u64& loc, u64 value) {
   device_->charge(global_, device_->cost_.atomic);
   if (value < loc) {
     loc = value;
-    device_->atomics_.record(AtomicOutcome::kMinEffective);
+    stats_->record(AtomicOutcome::kMinEffective);
     return true;
   }
-  device_->atomics_.record(AtomicOutcome::kMinIneffective);
+  stats_->record(AtomicOutcome::kMinIneffective);
   return false;
 }
 
@@ -327,16 +398,16 @@ bool ThreadCtx::atomic_max(u64& loc, u64 value) {
   device_->charge(global_, device_->cost_.atomic);
   if (value > loc) {
     loc = value;
-    device_->atomics_.record(AtomicOutcome::kMaxEffective);
+    stats_->record(AtomicOutcome::kMaxEffective);
     return true;
   }
-  device_->atomics_.record(AtomicOutcome::kMaxIneffective);
+  stats_->record(AtomicOutcome::kMaxIneffective);
   return false;
 }
 
 u32 ThreadCtx::atomic_add(u32& loc, u32 value) {
   device_->charge(global_, device_->cost_.atomic);
-  device_->atomics_.record(AtomicOutcome::kAdd);
+  stats_->record(AtomicOutcome::kAdd);
   const u32 old = loc;
   loc = old + value;
   return old;
@@ -344,7 +415,7 @@ u32 ThreadCtx::atomic_add(u32& loc, u32 value) {
 
 u64 ThreadCtx::atomic_add(u64& loc, u64 value) {
   device_->charge(global_, device_->cost_.atomic);
-  device_->atomics_.record(AtomicOutcome::kAdd);
+  stats_->record(AtomicOutcome::kAdd);
   const u64 old = loc;
   loc = old + value;
   return old;
@@ -352,7 +423,7 @@ u64 ThreadCtx::atomic_add(u64& loc, u64 value) {
 
 u8 ThreadCtx::atomic_exch(u8& loc, u8 value) {
   device_->charge(global_, device_->cost_.atomic);
-  device_->atomics_.record(AtomicOutcome::kAdd);
+  stats_->record(AtomicOutcome::kAdd);
   const u8 old = loc;
   loc = value;
   return old;

@@ -36,6 +36,7 @@
 
 #include "sim/atomics.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/pool.hpp"
 #include "sim/trace.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
@@ -46,6 +47,16 @@ namespace eclp::sim {
 struct LaunchConfig {
   u32 blocks = 1;
   u32 threads_per_block = 256;
+  /// Opt-in declaration that the kernel follows the *launch-snapshot
+  /// discipline* (DESIGN.md §2): no thread reads state written by another
+  /// block during this launch, and no two blocks write the same location.
+  /// Such launches execute their blocks independently — across the host
+  /// thread pool when one is attached — with per-block atomic-outcome
+  /// shards merged in block-index order and, under ScheduleMode::kShuffled,
+  /// a per-block PRNG stream derived from the device seed and launch index
+  /// (instead of a draw from the device-wide stream), so every counter and
+  /// modeled cycle is bit-identical for any worker count.
+  bool block_independent = false;
   u32 total_threads() const { return blocks * threads_per_block; }
 };
 
@@ -118,6 +129,10 @@ class ThreadCtx {
  private:
   friend class Device;
   Device* device_ = nullptr;
+  /// Where atomic outcomes are tallied: the device-wide AtomicStats for
+  /// sequential launches, this block's private shard for block-independent
+  /// ones (merged in block-index order at launch end).
+  AtomicStats* stats_ = nullptr;
   u32 block_ = 0;
   u32 thread_ = 0;
   u32 global_ = 0;
@@ -176,6 +191,23 @@ class Device {
   /// configuration before a kernel launch, paper §6.2.3).
   void host_op(u64 count = 1);
 
+  // --- host parallelism ------------------------------------------------------
+  /// Attach a host thread pool (not owned; nullptr = sequential). Devices
+  /// attach the process-wide shared_pool() at construction; tests inject
+  /// local pools to pin a worker count. Only launches flagged
+  /// block_independent use it — results are bit-identical either way.
+  void set_pool(Pool* pool) { pool_ = pool; }
+  Pool* pool() const { return pool_; }
+  /// Worker threads block-independent launches fan out over (>= 1).
+  u32 workers() const { return pool_ == nullptr ? 1 : pool_->size(); }
+
+  /// Record an atomic outcome on behalf of `block` from host-resolved
+  /// buffered intents (the launch_block_jacobi commit callback). During a
+  /// block-independent launch this routes to the block's private shard so
+  /// concurrently executing blocks never contend; otherwise it lands in the
+  /// device-wide tally directly.
+  void record_block_atomic(u32 block, AtomicOutcome outcome);
+
   // --- accounting ------------------------------------------------------------
   const CostModel& cost_model() const { return cost_; }
   AtomicStats& atomic_stats() { return atomics_; }
@@ -204,8 +236,25 @@ class Device {
   KernelCost finalize_cost(const LaunchConfig& cfg,
                            std::span<const u64> thread_work,
                            std::span<const u64> block_sync);
-  ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread);
+  ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
+                     AtomicStats* stats = nullptr);
   void record_trace(const KernelStats& stats, u64 atomics_before);
+
+  /// Execute `block_body(block, stats_shard)` for every block of a
+  /// block-independent launch — across the pool when attached, in block
+  /// order otherwise — then fold the per-block atomic-outcome shards into
+  /// the device tally in block-index order. Identical results either way.
+  void run_blocks(const LaunchConfig& cfg,
+                  const std::function<void(u32, AtomicStats&)>& block_body);
+
+  /// Seed of the per-block PRNG stream for block `b` of the launch with
+  /// index `launch_index` — a pure function of the device seed, so shuffled
+  /// interleavings of block-independent launches do not depend on the
+  /// worker count or on other launches' draws.
+  u64 block_stream_seed(u64 launch_index, u32 block) const {
+    return splitmix64(splitmix64(seed_ ^ (launch_index + 1)) ^
+                      (0x9e3779b97f4a7c15ULL * (block + 1)));
+  }
 
   CostModel cost_;
   AtomicStats atomics_;
@@ -215,8 +264,15 @@ class Device {
   u64 total_cycles_ = 0;
   u64 launches_ = 0;
   Trace* trace_ = nullptr;
+  Pool* pool_ = nullptr;
   // Work accumulator of the launch currently executing.
   std::vector<u64> work_;
+  // Per-block atomic-outcome shards of the block-independent launch
+  // currently executing (null outside one).
+  struct alignas(64) BlockStats {
+    AtomicStats stats;
+  };
+  std::vector<BlockStats>* block_stats_ = nullptr;
 };
 
 // --- ThreadCtx inline implementations ---------------------------------------

@@ -1,0 +1,104 @@
+// Work-stealing host thread pool for block-parallel simulation.
+//
+// Device::launch* dispatches the blocks of a *block-independent* launch
+// (LaunchConfig::block_independent, see device.hpp) across the workers of a
+// Pool. The scheduling is classic range-splitting work stealing: the block
+// range is split into one contiguous chunk per worker, each worker drains
+// its own chunk from the front, and a worker that runs dry steals the upper
+// half of the largest remaining chunk. Stealing only moves *which worker*
+// executes a block, never what the block computes — determinism is the
+// launch discipline's job (per-block state, per-block PRNG streams, shard
+// merges in block-index order), not the scheduler's.
+//
+// Exceptions thrown by block bodies are captured per block; after every
+// worker has drained, the exception of the *lowest* failing block index is
+// rethrown, so a failing parallel launch reports the same block a
+// sequential sweep would have reported first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hpp"
+#include "support/worker.hpp"
+
+namespace eclp::sim {
+
+class Pool {
+ public:
+  /// Create a pool of `workers` worker slots (clamped to
+  /// [1, kMaxWorkerSlots]). `workers == 0` means one slot per hardware
+  /// thread. A pool of size 1 runs everything inline on the caller.
+  explicit Pool(u32 workers);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  u32 size() const { return workers_; }
+
+  /// Run `fn(task, worker)` once for every task in [0, tasks). The calling
+  /// thread participates as worker 0. Returns when every task has finished;
+  /// rethrows the captured exception of the lowest failing task index, if
+  /// any. Reentrant calls (from inside a task) degrade to inline sequential
+  /// execution on the calling worker.
+  void run(u64 tasks, const std::function<void(u64 task, u32 worker)>& fn);
+
+ private:
+  struct alignas(64) Chunk {
+    // Owned range [next, end). `next` advances from the front (owner and
+    // thieves both claim one task at a time via the mutex); a steal moves
+    // the upper half of the range to the thief's chunk. The atomics allow
+    // lock-free *scanning* for the largest victim; mutations happen under
+    // the chunk mutex.
+    std::atomic<u64> next{0};
+    std::atomic<u64> end{0};
+    std::mutex m;
+  };
+
+  void worker_main(u32 slot);
+  void drain(u32 slot, const std::function<void(u64, u32)>& fn);
+  /// Claim one task for `slot`, stealing if its own chunk is empty.
+  /// Returns false when no work is left anywhere.
+  bool claim(u32 slot, u64& task);
+  void record_failure(u64 task);
+
+  u32 workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::vector<Chunk> chunks_;
+
+  // Job hand-off: generation bumps wake the workers; `active_` counts
+  // workers still draining the current job.
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  u64 generation_ = 0;
+  u32 active_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(u64, u32)>* job_ = nullptr;
+
+  std::mutex failure_mutex_;
+  u64 failed_task_ = ~u64{0};
+  std::exception_ptr failure_;
+};
+
+/// Number of simulator host threads currently configured (>= 1). The first
+/// call reads the ECLP_SIM_THREADS environment variable; set_sim_threads
+/// overrides it.
+u32 sim_threads();
+
+/// Configure the simulator host thread count (0 = one per hardware
+/// thread). Takes effect for Devices constructed afterwards: the shared
+/// pool is rebuilt, and Devices capture it at construction.
+void set_sim_threads(u32 n);
+
+/// The process-wide pool Devices attach to by default: nullptr when
+/// sim_threads() == 1 (sequential execution), a live Pool otherwise.
+Pool* shared_pool();
+
+}  // namespace eclp::sim

@@ -1,0 +1,35 @@
+// Worker-slot identification for host-parallel execution.
+//
+// The simulator's thread pool (sim/pool.hpp) assigns every OS thread that
+// executes simulated blocks a small dense *worker slot*. Components that
+// must be writable from concurrently executing blocks — the sharded
+// profiling counters in profile/counters.hpp — key their shards on this
+// slot. Keeping the accessor here (rather than in sim/) lets the profiling
+// library stay independent of the simulator.
+//
+// Slot 0 is the host thread (and the thread that calls Pool::run, which
+// participates in the work); pool workers occupy slots 1..kMaxWorkerSlots-1.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace eclp {
+
+/// Upper bound on concurrently executing worker threads. Shard arrays are
+/// sized by this, so it is deliberately small.
+inline constexpr u32 kMaxWorkerSlots = 64;
+
+namespace detail {
+inline thread_local u32 tl_worker_slot = 0;
+}  // namespace detail
+
+/// Worker slot of the calling thread: 0 for the host thread, the pool
+/// worker index otherwise. Always < kMaxWorkerSlots.
+inline u32 current_worker_slot() { return detail::tl_worker_slot; }
+
+/// Bind the calling thread to a worker slot (pool internals only).
+inline void set_current_worker_slot(u32 slot) {
+  detail::tl_worker_slot = slot < kMaxWorkerSlots ? slot : 0;
+}
+
+}  // namespace eclp

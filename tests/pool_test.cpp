@@ -1,0 +1,236 @@
+// Work-stealing pool semantics (sim/pool.hpp) and the determinism contract
+// of block-independent dispatch: per-block shard merges in block-index
+// order, worker-count-independent counters, exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "profile/counters.hpp"
+#include "sim/device.hpp"
+#include "sim/pool.hpp"
+#include "support/worker.hpp"
+
+namespace eclp::sim {
+namespace {
+
+TEST(Pool, EmptyRunExecutesNothing) {
+  Pool pool(4);
+  std::atomic<u64> calls{0};
+  pool.run(0, [&](u64, u32) { calls++; });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(Pool, SingleTaskRunsOnce) {
+  Pool pool(4);
+  std::atomic<u64> calls{0};
+  u64 seen_task = ~u64{0};
+  pool.run(1, [&](u64 task, u32) {
+    calls++;
+    seen_task = task;
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(seen_task, 0u);
+}
+
+TEST(Pool, ManyMoreTasksThanWorkersEachRunsExactlyOnce) {
+  Pool pool(4);
+  constexpr u64 kTasks = 10000;
+  // Each task writes only its own slot, so plain ints suffice.
+  std::vector<u32> runs(kTasks, 0);
+  pool.run(kTasks, [&](u64 task, u32) { runs[task]++; });
+  for (u64 t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(runs[t], 1u) << "task " << t;
+  }
+}
+
+TEST(Pool, WorkerIdsAreInRange) {
+  Pool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<u32> bad{0};
+  pool.run(256, [&](u64, u32 worker) {
+    if (worker >= 3) bad++;
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(Pool, SizeOneRunsInlineOnCaller) {
+  Pool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  u64 calls = 0;
+  pool.run(64, [&](u64, u32 worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, current_worker_slot());
+    calls++;
+  });
+  EXPECT_EQ(calls, 64u);
+}
+
+TEST(Pool, ExceptionFromSingleFailingTaskPropagates) {
+  Pool pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [&](u64 task, u32) {
+                          if (task == 7) throw std::runtime_error("task 7");
+                        }),
+               std::runtime_error);
+  // The pool must survive a failed run and accept the next one.
+  std::atomic<u64> calls{0};
+  pool.run(16, [&](u64, u32) { calls++; });
+  EXPECT_EQ(calls.load(), 16u);
+}
+
+TEST(Pool, ExceptionCarriesLowestFailingTask) {
+  Pool pool(2);
+  // Every task throws its own index. A failure does not stop the run, so
+  // every task executes and the rethrown exception is always task 0's —
+  // exactly what a sequential sweep would have reported first.
+  try {
+    pool.run(100, [&](u64 task, u32) {
+      throw std::runtime_error(std::to_string(task));
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(Pool, ReentrantRunDegradesToInline) {
+  Pool pool(4);
+  std::atomic<u64> inner_calls{0};
+  pool.run(8, [&](u64, u32 worker) {
+    // A task that itself calls run() (a simulated kernel launching from a
+    // worker) must not deadlock; the nested call runs inline.
+    pool.run(4, [&](u64, u32 inner_worker) {
+      EXPECT_EQ(inner_worker, worker);
+      inner_calls++;
+    });
+  });
+  EXPECT_EQ(inner_calls.load(), 32u);
+}
+
+TEST(Pool, SimThreadsConfigRoundTrips) {
+  const u32 before = sim_threads();
+  set_sim_threads(3);
+  EXPECT_EQ(sim_threads(), 3u);
+  Pool* pool = shared_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 3u);
+  set_sim_threads(1);
+  EXPECT_EQ(sim_threads(), 1u);
+  EXPECT_EQ(shared_pool(), nullptr);
+  set_sim_threads(before);
+}
+
+// --- block-independent dispatch through Device -------------------------------
+
+/// Run one block-independent launch whose blocks produce distinct atomic
+/// outcome mixes, on a device driven by `workers` workers; return the
+/// device's outcome tallies.
+std::vector<u64> atomic_tallies_with_workers(u32 workers) {
+  Pool pool(workers);
+  Device dev;
+  dev.set_pool(&pool);
+  LaunchConfig cfg{8, 32};
+  cfg.block_independent = true;
+  std::vector<u32> cells(8, 0);
+  dev.launch("mix", cfg, [&](ThreadCtx& ctx) {
+    const u32 b = ctx.block_idx();
+    // Within a block threads run sequentially, so these CAS/min/max
+    // outcomes are deterministic per block — and must stay so when blocks
+    // land on different workers.
+    ctx.atomic_cas(cells[b], ctx.thread_idx(), ctx.thread_idx() + 1);
+    ctx.atomic_max(cells[b], ctx.thread_idx() % (b + 1));
+    ctx.atomic_add(cells[b], 1);
+  });
+  std::vector<u64> tallies;
+  for (usize o = 0; o < static_cast<usize>(AtomicOutcome::kCount_); ++o) {
+    tallies.push_back(dev.atomic_stats().count(static_cast<AtomicOutcome>(o)));
+  }
+  tallies.push_back(dev.total_cycles());
+  return tallies;
+}
+
+TEST(BlockIndependentDispatch, ShardMergeIsWorkerCountIndependent) {
+  const auto base = atomic_tallies_with_workers(1);
+  EXPECT_EQ(atomic_tallies_with_workers(2), base);
+  EXPECT_EQ(atomic_tallies_with_workers(4), base);
+  EXPECT_EQ(atomic_tallies_with_workers(7), base);
+}
+
+TEST(BlockIndependentDispatch, ExceptionReportsLowestFailingBlock) {
+  Pool pool(4);
+  Device dev;
+  dev.set_pool(&pool);
+  LaunchConfig cfg{16, 4};
+  cfg.block_independent = true;
+  try {
+    dev.launch("boom", cfg, [&](ThreadCtx& ctx) {
+      // Every block's first thread fails; block 0 runs at the front of
+      // worker 0's chunk, so the reported block is deterministic.
+      if (ctx.thread_idx() == 0) {
+        throw std::runtime_error("block " + std::to_string(ctx.block_idx()));
+      }
+    });
+    FAIL() << "launch should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 0");
+  }
+  // The device must remain usable after a failed launch.
+  const auto ks = dev.launch("ok", {2, 2}, [](ThreadCtx& ctx) {
+    ctx.charge_alu(1);
+  });
+  EXPECT_EQ(ks.cost.active_threads, 4u);
+}
+
+/// Worker-sharded profile counters must fold to the same totals for any
+/// worker count (sums in worker-slot order are commutative over u64).
+TEST(ShardedCounters, TotalsIndependentOfWorkerCount) {
+  const auto run_counters = [](u32 workers, u64& global_total,
+                               std::vector<u64>& per_block) {
+    Pool pool(workers);
+    Device dev;
+    dev.set_pool(&pool);
+    LaunchConfig cfg{16, 64};
+    cfg.block_independent = true;
+    profile::GlobalCounter events;
+    profile::PerBlockCounter block_events(cfg.blocks);
+    dev.launch("count", cfg, [&](ThreadCtx& ctx) {
+      ctx.charge_alu(1);
+      events.inc(1 + ctx.thread_idx() % 3);
+      block_events.inc(ctx.block_idx());
+    });
+    global_total = events.value();
+    per_block.assign(block_events.values().begin(),
+                     block_events.values().end());
+  };
+  u64 base_total = 0;
+  std::vector<u64> base_blocks;
+  run_counters(1, base_total, base_blocks);
+  for (const u32 workers : {2u, 4u, 7u}) {
+    u64 total = 0;
+    std::vector<u64> blocks;
+    run_counters(workers, total, blocks);
+    EXPECT_EQ(total, base_total) << workers << " workers";
+    EXPECT_EQ(blocks, base_blocks) << workers << " workers";
+  }
+}
+
+TEST(ShardedCounters, ResizeAndResetDropWorkerShards) {
+  profile::PerBlockCounter c(4);
+  set_current_worker_slot(2);
+  c.inc(1, 5);
+  set_current_worker_slot(0);
+  EXPECT_EQ(c.at(1), 5u);  // consolidated on read
+  c.resize(4);
+  EXPECT_EQ(c.total(), 0u);
+  set_current_worker_slot(3);
+  c.inc(2, 7);
+  set_current_worker_slot(0);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace eclp::sim

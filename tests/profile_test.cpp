@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "profile/conflict.hpp"
 #include "profile/counters.hpp"
 #include "profile/registry.hpp"
 #include "profile/series.hpp"
+#include "support/worker.hpp"
 
 namespace eclp::profile {
 namespace {
@@ -172,6 +177,83 @@ TEST(BlockSeries, CsvHasOneLinePerBlock) {
   const std::string csv = s.to_csv();
   EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
   EXPECT_NE(csv.find("1,2,1,4"), std::string::npos);
+}
+
+// --- golden files -----------------------------------------------------------------
+// The report/CSV emitters feed the bench artifacts the paper tables are
+// read from; pin their exact rendering against checked-in goldens so
+// format drift is a deliberate decision, not an accident. Regenerate with
+//   ECLP_UPDATE_GOLDEN=1 ctest -R Golden
+// (ECLP_GOLDEN_DIR points at tests/golden/ in the source tree.)
+
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  const std::string path = std::string(ECLP_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("ECLP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "missing golden " << path
+                         << " (regenerate with ECLP_UPDATE_GOLDEN=1)";
+  std::stringstream expected;
+  expected << is.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << "golden mismatch: " << path;
+}
+
+/// A registry with one counter of every granularity and fixed values —
+/// including increments from a nonzero worker slot, which must be invisible
+/// in the rendered output (shards consolidate on read).
+CounterRegistry golden_registry() {
+  CounterRegistry reg;
+  auto& global = reg.make<GlobalCounter>("atomics_useless");
+  auto& per_thread = reg.make<PerThreadCounter>("iterations", 4);
+  auto& per_block = reg.make<PerBlockCounter>("updates", 3);
+  auto& per_vertex = reg.make<PerVertexCounter>("visits", 5);
+  global.inc(41);
+  per_thread.inc(0, 2);
+  per_thread.inc(2, 7);
+  per_block.inc(1, 5);
+  per_vertex.inc(0);
+  per_vertex.inc(4, 3);
+  set_current_worker_slot(2);
+  global.inc(1);
+  per_thread.inc(3, 1);
+  per_block.inc(1, 5);
+  per_vertex.inc(4, 2);
+  set_current_worker_slot(0);
+  return reg;
+}
+
+TEST(Golden, RegistryReportText) {
+  expect_matches_golden("registry_report.txt",
+                        golden_registry().report("profiling counters")
+                            .to_text());
+}
+
+TEST(Golden, RegistryReportCsv) {
+  expect_matches_golden("registry_report.csv",
+                        golden_registry().report("profiling counters")
+                            .to_csv());
+}
+
+BlockSeries golden_series() {
+  BlockSeries s;
+  s.record(1, 1, {70, 68, 71, 0});
+  s.record(1, 2, {10, 0, 3, 0});
+  s.record(2, 1, {5, 0, 0, 2});
+  return s;
+}
+
+TEST(Golden, BlockSeriesCsv) {
+  expect_matches_golden("block_series.csv", golden_series().to_csv());
+}
+
+TEST(Golden, BlockSeriesTableText) {
+  expect_matches_golden("block_series_table.txt",
+                        golden_series().to_table("scc updates").to_text());
 }
 
 // --- conflict tracker ------------------------------------------------------------

@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "device seed (shuffled schedule if nonzero)", "0");
   cli.add_option("weights", "random-weight seed for MST on unweighted input",
                  "42");
+  cli.add_option("sim-threads",
+                 "host worker threads for block-parallel simulation "
+                 "(0 = one per hardware thread; overrides ECLP_SIM_THREADS)",
+                 "");
   cli.add_flag("verify", "check the result against the sequential reference");
   cli.add_flag("timeline", "print the kernel launch timeline");
   cli.add_flag("help", "show usage");
@@ -66,6 +70,9 @@ int main(int argc, char** argv) {
   }
 
   const std::string algo = cli.get("algo");
+  if (!cli.get("sim-threads").empty()) {
+    sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
+  }
   const u64 seed = static_cast<u64>(cli.get_int("seed"));
   sim::Device dev(sim::CostModel{}, seed,
                   seed == 0 ? sim::ScheduleMode::kDeterministic
