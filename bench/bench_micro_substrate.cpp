@@ -5,6 +5,10 @@
 // depend on it being fast enough to run the full suite.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "algos/cc/ecl_cc.hpp"
 #include "algos/mst/ecl_mst.hpp"
 #include "algos/scc/ecl_scc.hpp"
@@ -175,4 +179,36 @@ BENCHMARK(BM_TarjanReference);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the suite-wide
+// `--json <path>` / `--json=<path>` convention (harness/harness.hpp) by
+// translating it to google-benchmark's --benchmark_out flags, so
+//   bench_micro_substrate --json BENCH_micro_substrate.json
+// emits the same machine-readable perf-trajectory artifact as the
+// table benches. All other flags pass through to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  translated.reserve(args.size() + 1);
+  for (usize i = 0; i < args.size(); ++i) {
+    std::string path;
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      path = args[++i];
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      path = args[i].substr(std::strlen("--json="));
+    } else {
+      translated.push_back(args[i]);
+      continue;
+    }
+    translated.push_back("--benchmark_out=" + path);
+    translated.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(translated.size());
+  for (std::string& a : translated) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

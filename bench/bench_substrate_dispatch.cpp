@@ -1,0 +1,166 @@
+// Microbench — what the zero-erasure dispatch path is worth.
+//
+// The launch entry points of sim/device.hpp are templates: the kernel body
+// is invoked directly and its cost charges accumulate in a ThreadCtx-local
+// tally flushed once per invocation. This bench quantifies both halves of
+// that design on a tight grid-stride kernel by running the same body four
+// ways:
+//
+//   dispatch = template   the body is a raw lambda (the normal API use);
+//   dispatch = erased     the body is wrapped in std::function before the
+//                         launch, reintroducing one indirect call + erased
+//                         body per simulated thread — the pre-refactor
+//                         dispatch cost, measured on today's substrate;
+//   charging = batched    the body charges through ThreadCtx (local tally,
+//                         one flush per thread);
+//   charging = per-op     the body additionally performs one shared-state
+//                         update per memory op against an external
+//                         per-thread work table — the pre-refactor charge()
+//                         pattern (indexed read-modify-write per op).
+//
+// Reported as ns per simulated thread (median of --runs), with speedups
+// relative to the erased/per-op combination, i.e. the old substrate. Run
+//
+//   bench_substrate_dispatch --json BENCH_substrate_dispatch.json
+//
+// to record the perf-trajectory artifact the repo tracks across PRs.
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "support/timer.hpp"
+
+using namespace eclp;
+
+namespace {
+
+constexpr u32 kBlocks = 64;
+constexpr u32 kThreadsPerBlock = 256;
+constexpr u32 kElemsPerThread = 8;
+
+/// Elements each simulated thread strides over; the values only exist so
+/// the reads cannot be optimized away.
+std::vector<u32> make_data(u32 total_threads) {
+  std::vector<u32> data(static_cast<usize>(total_threads) * kElemsPerThread);
+  for (usize i = 0; i < data.size(); ++i) data[i] = static_cast<u32>(i * 2654435761u);
+  return data;
+}
+
+/// The grid-stride kernel body, parameterized on the charging style.
+/// `per_op_work` is null for batched charging; non-null makes every charge
+/// also hit the external per-thread table, one read-modify-write per op.
+template <bool kPerOp>
+struct Kernel {
+  const std::vector<u32>* data;
+  std::vector<u64>* per_op_work;
+  u64* sink;
+
+  void operator()(sim::ThreadCtx& ctx) const {
+    const u32 n = static_cast<u32>(data->size());
+    const u32 stride = ctx.grid_size();
+    u64 acc = 0;
+    for (u32 i = ctx.global_id(); i < n; i += stride) {
+      acc ^= (*data)[i];
+      ctx.charge_reads(1);
+      ctx.charge_alu(1);
+      if constexpr (kPerOp) {
+        // One shared-state update per op, like the old Device::charge().
+        (*per_op_work)[ctx.global_id()] += 5;  // global_read + alu
+      }
+    }
+    *sink ^= acc;
+  }
+};
+
+struct Sample {
+  double ns_per_thread = 0;
+  u64 modeled_cycles = 0;
+};
+
+/// Median ns/simulated-thread for one launch variant over ctx.runs runs.
+template <typename LaunchFn>
+Sample measure(const harness::BenchContext& ctx, u32 total_threads,
+               LaunchFn&& launch_once) {
+  constexpr int kLaunchesPerRun = 20;
+  std::vector<double> times;
+  Sample sample;
+  launch_once();  // warm-up (and page in the data)
+  for (int r = 0; r < ctx.runs; ++r) {
+    Timer timer;
+    u64 cycles = 0;
+    for (int i = 0; i < kLaunchesPerRun; ++i) cycles = launch_once();
+    times.push_back(timer.seconds() * 1e9 /
+                    (static_cast<double>(kLaunchesPerRun) * total_threads));
+    sample.modeled_cycles = cycles;
+  }
+  std::sort(times.begin(), times.end());
+  sample.ns_per_thread = times[times.size() / 2];
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = harness::parse(
+      argc, argv,
+      "Substrate: erased vs. template dispatch, per-op vs. batched charging");
+
+  const sim::LaunchConfig cfg{kBlocks, kThreadsPerBlock};
+  const u32 total = cfg.total_threads();
+  const auto data = make_data(total);
+  std::vector<u64> per_op_work(total, 0);
+  u64 sink = 0;
+
+  auto dev = harness::make_device();
+  const Kernel<false> batched{&data, nullptr, &sink};
+  const Kernel<true> per_op{&data, &per_op_work, &sink};
+
+  // The erased variants wrap the identical bodies in std::function, putting
+  // one type-erasure boundary back between the launch loop and the body.
+  const std::function<void(sim::ThreadCtx&)> batched_erased = batched;
+  const std::function<void(sim::ThreadCtx&)> per_op_erased = per_op;
+
+  const auto run = [&](const auto& body) {
+    return [&dev, &cfg, &body] {
+      return dev.launch("stride", cfg, body).cost.modeled_cycles;
+    };
+  };
+
+  const Sample s_tpl_batched = measure(ctx, total, run(batched));
+  const Sample s_tpl_perop = measure(ctx, total, run(per_op));
+  const Sample s_er_batched = measure(ctx, total, run(batched_erased));
+  const Sample s_er_perop = measure(ctx, total, run(per_op_erased));
+
+  // All four variants charge ThreadCtx identically, so the modeled cycles
+  // must agree — the per-op table and the erasure wrapper are wall-clock
+  // effects only.
+  ECLP_CHECK(s_tpl_batched.modeled_cycles == s_er_perop.modeled_cycles);
+  ECLP_CHECK(s_tpl_perop.modeled_cycles == s_er_batched.modeled_cycles);
+  ECLP_CHECK(s_tpl_batched.modeled_cycles == s_tpl_perop.modeled_cycles);
+
+  const double baseline = s_er_perop.ns_per_thread;
+  const auto add = [&](Table& t, const char* dispatch, const char* charging,
+                       const Sample& s) {
+    t.add_row({dispatch, charging, fmt::fixed(s.ns_per_thread, 2),
+               fmt::fixed(baseline / s.ns_per_thread, 2) + "x",
+               fmt::grouped(s.modeled_cycles)});
+  };
+
+  Table t("Substrate dispatch — ns per simulated thread (" +
+          std::to_string(kElemsPerThread) + " charged ops each)");
+  t.set_header({"dispatch", "charging", "ns/thread", "speedup vs erased/per-op",
+                "modeled cycles"});
+  add(t, "erased", "per-op", s_er_perop);
+  add(t, "erased", "batched", s_er_batched);
+  add(t, "template", "per-op", s_tpl_perop);
+  add(t, "template", "batched", s_tpl_batched);
+  harness::emit(ctx, "substrate_dispatch", t);
+
+  std::printf(
+      "template/batched is the production path; erased/per-op replays the\n"
+      "pre-refactor substrate (std::function per body call, shared-state\n"
+      "update per charged op) on the same kernel. sink=%llu\n",
+      static_cast<unsigned long long>(sink));
+  return 0;
+}

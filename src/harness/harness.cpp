@@ -1,6 +1,7 @@
 #include "harness/harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -9,13 +10,94 @@
 
 namespace eclp::harness {
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a table cell as a JSON value: cells that are numbers under the
+/// table formatters (thousands separators stripped) come back out as
+/// numbers, everything else as a string.
+std::string json_cell(const std::string& cell) {
+  std::string stripped;
+  for (const char c : cell) {
+    if (c != ',') stripped += c;
+  }
+  if (!stripped.empty()) {
+    char* end = nullptr;
+    std::strtod(stripped.c_str(), &end);
+    if (end != nullptr && *end == '\0') return stripped;
+  }
+  return '"' + json_escape(cell) + '"';
+}
+
+/// Rewrite ctx.json_path from the tables collected so far. The whole
+/// document is regenerated on every emit so a bench that exits between
+/// tables still leaves a valid artifact behind.
+void write_json(const BenchContext& ctx) {
+  std::ofstream os(ctx.json_path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << ctx.json_path << '\n';
+    return;
+  }
+  os << "{\n  \"bench\": \"" << json_escape(ctx.bench_name) << "\",\n"
+     << "  \"tables\": [";
+  bool first_table = true;
+  for (const auto& [id, table] : ctx.json_tables) {
+    os << (first_table ? "\n" : ",\n");
+    first_table = false;
+    os << "    {\n      \"id\": \"" << json_escape(id) << "\",\n"
+       << "      \"title\": \"" << json_escape(table.title()) << "\",\n"
+       << "      \"rows\": [";
+    for (usize r = 0; r < table.rows(); ++r) {
+      os << (r == 0 ? "\n" : ",\n") << "        {";
+      const auto& row = table.row(r);
+      for (usize c = 0; c < table.cols(); ++c) {
+        os << (c == 0 ? "" : ", ") << '"' << json_escape(table.header()[c])
+           << "\": " << json_cell(row[c]);
+      }
+      os << '}';
+    }
+    os << "\n      ]\n    }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
 BenchContext parse(int argc, const char* const* argv,
                    const std::string& description, Cli cli) {
   BenchContext ctx;
   ctx.cli = std::move(cli);
+  ctx.bench_name =
+      std::filesystem::path(argc > 0 ? argv[0] : "bench").filename().string();
   ctx.cli.add_option("scale", "input scale: tiny|small|default", "small");
   ctx.cli.add_option("out", "directory for CSV copies", "bench_results");
   ctx.cli.add_option("runs", "repetitions for median measurements", "3");
+  ctx.cli.add_option("json",
+                     "write a machine-readable JSON copy of every emitted "
+                     "table to this path (e.g. BENCH_<name>.json)",
+                     "");
   ctx.cli.add_option("sim-threads",
                      "host worker threads for block-parallel simulation "
                      "(0 = one per hardware thread; overrides "
@@ -29,6 +111,7 @@ BenchContext parse(int argc, const char* const* argv,
   }
   ctx.scale = gen::parse_scale(ctx.cli.get("scale"));
   ctx.out_dir = ctx.cli.get("out");
+  ctx.json_path = ctx.cli.get("json");
   ctx.runs = static_cast<int>(ctx.cli.get_int("runs"));
   ECLP_CHECK(ctx.runs >= 1);
   if (!ctx.cli.get("sim-threads").empty()) {
@@ -43,6 +126,10 @@ void emit(const BenchContext& ctx, const std::string& experiment_id,
           const Table& table) {
   std::cout << table.to_text() << '\n';
   emit_raw(ctx, experiment_id + ".csv", table.to_csv());
+  if (!ctx.json_path.empty()) {
+    ctx.json_tables.emplace_back(experiment_id, table);
+    write_json(ctx);
+  }
 }
 
 void emit_raw(const BenchContext& ctx, const std::string& file_name,

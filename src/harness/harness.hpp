@@ -7,11 +7,17 @@
 //   --out=<dir>                  where CSV copies of each table are written
 //                                (default: bench_results)
 //   --runs=<k>                   repetitions for median-of-k measurements
+//   --json=<path>                machine-readable copy of every emitted
+//                                table (one JSON document; numbers parsed
+//                                back out of the formatted cells) — the
+//                                BENCH_<name>.json perf-trajectory artifacts
 // and prints the reproduced table plus, where the paper quotes one, the
 // corresponding correlation coefficient.
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gen/suite.hpp"
 #include "sim/device.hpp"
@@ -24,14 +30,21 @@ struct BenchContext {
   gen::Scale scale = gen::Scale::kSmall;
   std::string out_dir = "bench_results";
   int runs = 3;
+  std::string bench_name;  ///< argv[0] basename, the JSON "bench" field
+  std::string json_path;   ///< --json destination; empty = no JSON artifact
   Cli cli;
+  /// Tables seen by emit(); the JSON artifact is rewritten from this after
+  /// every emit, so it is complete whenever the process exits.
+  mutable std::vector<std::pair<std::string, Table>> json_tables;
 };
 
 /// Parse the standard bench flags (plus any extras already added to `cli`).
 BenchContext parse(int argc, const char* const* argv,
                    const std::string& description, Cli cli = {});
 
-/// Print the table to stdout and drop a CSV copy in ctx.out_dir.
+/// Print the table to stdout, drop a CSV copy in ctx.out_dir, and — when
+/// --json was given — rewrite the JSON artifact with every table emitted so
+/// far.
 void emit(const BenchContext& ctx, const std::string& experiment_id,
           const Table& table);
 

@@ -97,17 +97,20 @@ class BucketCounter : public Counter {
   explicit BucketCounter(usize buckets = 0) : slots_(buckets, 0) {}
 
   /// (Re)size, zeroing all slots. Call before each instrumented launch with
-  /// the launch's thread/block count.
+  /// the launch's thread/block count. Shard vectors allocated by earlier
+  /// launches are kept as arenas and re-zeroed at the new size — an
+  /// instrumented launch loop never re-heap-allocates a shard it already
+  /// owns.
   void resize(usize buckets) {
     slots_.assign(buckets, 0);
-    drop_shards();
+    zero_shards(buckets);
   }
   usize size() const { return slots_.size(); }
 
   void inc(usize bucket, u64 n = 1) {
-    ECLP_CHECK_MSG(bucket < slots_.size(),
-                   "counter bucket " << bucket << " out of range "
-                                     << slots_.size());
+    ECLP_ASSERT_MSG(bucket < slots_.size(),
+                    "counter bucket " << bucket << " out of range "
+                                      << slots_.size());
     const u32 slot = current_worker_slot();
     if (slot == 0) {
       slots_[bucket] += n;
@@ -132,7 +135,7 @@ class BucketCounter : public Counter {
 
   void reset() override {
     std::fill(slots_.begin(), slots_.end(), 0);
-    drop_shards();
+    zero_shards(slots_.size());
   }
   u64 total() const override {
     consolidate();
@@ -157,8 +160,12 @@ class BucketCounter : public Counter {
       }
     }
   }
-  void drop_shards() {
-    for (auto& shard : shards_) shard.reset();
+  /// Re-zero existing shard arenas at the given size, keeping their heap
+  /// allocations alive for the next launch (assign reuses capacity).
+  void zero_shards(usize buckets) {
+    for (auto& shard : shards_) {
+      if (shard != nullptr) shard->assign(buckets, 0);
+    }
   }
 
   mutable std::vector<u64> slots_;

@@ -1,7 +1,6 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 namespace eclp::sim {
 
@@ -19,46 +18,6 @@ Device::Device(CostModel cost, u64 seed, ScheduleMode mode)
       pool_(shared_pool()) {
   ECLP_CHECK(cost_.lanes_per_sm > 0);
   ECLP_CHECK(cost_.sm_count > 0);
-}
-
-void Device::charge(u32 global_thread, u64 cycles) {
-  work_[global_thread] += cycles;
-}
-
-ThreadCtx Device::make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
-                           AtomicStats* stats) {
-  ThreadCtx ctx;
-  ctx.device_ = this;
-  ctx.stats_ = stats == nullptr ? &atomics_ : stats;
-  ctx.block_ = block;
-  ctx.thread_ = thread;
-  ctx.global_ = block * cfg.threads_per_block + thread;
-  ctx.block_dim_ = cfg.threads_per_block;
-  ctx.grid_dim_ = cfg.blocks;
-  return ctx;
-}
-
-void Device::run_blocks(
-    const LaunchConfig& cfg,
-    const std::function<void(u32, AtomicStats&)>& block_body) {
-  std::vector<BlockStats> shards(cfg.blocks);
-  block_stats_ = &shards;
-  try {
-    if (pool_ != nullptr && pool_->size() > 1 && cfg.blocks > 1) {
-      pool_->run(cfg.blocks, [&](u64 b, u32 /*worker*/) {
-        block_body(static_cast<u32>(b), shards[b].stats);
-      });
-    } else {
-      for (u32 b = 0; b < cfg.blocks; ++b) block_body(b, shards[b].stats);
-    }
-  } catch (...) {
-    block_stats_ = nullptr;
-    throw;
-  }
-  block_stats_ = nullptr;
-  // Deterministic merge: block-index order, independent of which worker ran
-  // which block (and of whether a pool was attached at all).
-  for (u32 b = 0; b < cfg.blocks; ++b) atomics_.merge(shards[b].stats);
 }
 
 void Device::record_block_atomic(u32 block, AtomicOutcome outcome) {
@@ -113,188 +72,6 @@ KernelCost Device::finalize_cost(const LaunchConfig& cfg,
   return kc;
 }
 
-KernelStats Device::launch(const std::string& name, LaunchConfig cfg,
-                           const std::function<void(ThreadCtx&)>& body) {
-  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
-  const u64 atomics_before = atomics_.total();
-  const u64 launch_index = launches_;
-  work_.assign(cfg.total_threads(), 0);
-
-  if (cfg.block_independent) {
-    // Block-parallel path: each block runs to completion independently.
-    // Thread order within a block is id order, or a per-block shuffled
-    // stream — never a draw from the device-wide rng_, so the execution is
-    // a pure function of (seed, launch index, block) and bit-identical for
-    // any worker count.
-    run_blocks(cfg, [&](u32 b, AtomicStats& shard) {
-      if (mode_ == ScheduleMode::kDeterministic) {
-        for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-          ThreadCtx ctx = make_ctx(cfg, b, t, &shard);
-          body(ctx);
-        }
-      } else {
-        Rng block_rng(block_stream_seed(launch_index, b));
-        for (const u32 t : block_rng.permutation(cfg.threads_per_block)) {
-          ThreadCtx ctx = make_ctx(cfg, b, t, &shard);
-          body(ctx);
-        }
-      }
-    });
-  } else if (mode_ == ScheduleMode::kDeterministic) {
-    for (u32 b = 0; b < cfg.blocks; ++b) {
-      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-        ThreadCtx ctx = make_ctx(cfg, b, t);
-        body(ctx);
-      }
-    }
-  } else {
-    // Shuffled run-to-completion: a seeded permutation of global thread ids.
-    auto order = rng_.permutation(cfg.total_threads());
-    for (const u32 gid : order) {
-      ThreadCtx ctx = make_ctx(cfg, gid / cfg.threads_per_block,
-                               gid % cfg.threads_per_block);
-      body(ctx);
-    }
-  }
-
-  KernelStats ks;
-  ks.name = name;
-  ks.config = cfg;
-  ks.cost = finalize_cost(cfg, work_, {});
-  record_trace(ks, atomics_before);
-  return ks;
-}
-
-KernelStats Device::launch_cooperative(
-    const std::string& name, LaunchConfig cfg,
-    const std::function<bool(ThreadCtx&)>& step,
-    const std::function<void(u64)>& on_round_end, u64 max_rounds) {
-  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
-  const u64 atomics_before = atomics_.total();
-  work_.assign(cfg.total_threads(), 0);
-
-  std::vector<u32> alive(cfg.total_threads());
-  std::iota(alive.begin(), alive.end(), 0);
-
-  u64 rounds = 0;
-  while (!alive.empty()) {
-    ECLP_CHECK_MSG(rounds < max_rounds,
-                   "cooperative kernel '" << name << "' exceeded "
-                                          << max_rounds << " rounds");
-    ++rounds;
-    if (mode_ == ScheduleMode::kShuffled) rng_.shuffle(alive);
-    std::vector<u32> next;
-    next.reserve(alive.size());
-    for (const u32 gid : alive) {
-      ThreadCtx ctx = make_ctx(cfg, gid / cfg.threads_per_block,
-                               gid % cfg.threads_per_block);
-      if (!step(ctx)) next.push_back(gid);
-    }
-    alive = std::move(next);
-    if (on_round_end) on_round_end(rounds);
-  }
-
-  KernelStats ks;
-  ks.name = name;
-  ks.config = cfg;
-  ks.cooperative_rounds = rounds;
-  ks.cost = finalize_cost(cfg, work_, {});
-  record_trace(ks, atomics_before);
-  return ks;
-}
-
-KernelStats Device::launch_block_iterative(
-    const std::string& name, LaunchConfig cfg,
-    const std::function<bool(ThreadCtx&, u64)>& step, u64 max_inner) {
-  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
-  const u64 atomics_before = atomics_.total();
-  work_.assign(cfg.total_threads(), 0);
-
-  std::vector<u64> block_iters(cfg.blocks, 0);
-  std::vector<u64> block_sync(cfg.blocks, 0);
-  const auto run_block = [&](u32 b, AtomicStats* shard) {
-    bool block_updated = true;
-    u64 inner = 0;
-    while (block_updated) {
-      ECLP_CHECK_MSG(inner < max_inner,
-                     "block-iterative kernel '" << name << "' block " << b
-                                                << " exceeded " << max_inner
-                                                << " inner iterations");
-      ++inner;
-      block_updated = false;
-      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-        ThreadCtx ctx = make_ctx(cfg, b, t, shard);
-        block_updated |= step(ctx, inner);
-      }
-      // Block-wide synchronization: every resident thread participates,
-      // active or not — this is the overhead the paper's §6.2.1 tunes away.
-      block_sync[b] +=
-          static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
-    }
-    block_iters[b] = inner;
-  };
-  if (cfg.block_independent) {
-    run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
-  } else {
-    for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
-  }
-
-  KernelStats ks;
-  ks.name = name;
-  ks.config = cfg;
-  ks.block_inner_iterations = std::move(block_iters);
-  ks.cost = finalize_cost(cfg, work_, block_sync);
-  record_trace(ks, atomics_before);
-  return ks;
-}
-
-KernelStats Device::launch_block_jacobi(
-    const std::string& name, LaunchConfig cfg,
-    const std::function<void(ThreadCtx&, u64)>& step,
-    const std::function<bool(u32, u64)>& commit, u64 max_inner) {
-  ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
-  const u64 atomics_before = atomics_.total();
-  work_.assign(cfg.total_threads(), 0);
-
-  std::vector<u64> block_iters(cfg.blocks, 0);
-  std::vector<u64> block_sync(cfg.blocks, 0);
-  const auto run_block = [&](u32 b, AtomicStats* shard) {
-    bool block_updated = true;
-    u64 inner = 0;
-    while (block_updated) {
-      ECLP_CHECK_MSG(inner < max_inner,
-                     "block-jacobi kernel '" << name << "' block " << b
-                                             << " exceeded " << max_inner
-                                             << " inner iterations");
-      ++inner;
-      for (u32 t = 0; t < cfg.threads_per_block; ++t) {
-        ThreadCtx ctx = make_ctx(cfg, b, t, shard);
-        step(ctx, inner);
-      }
-      block_sync[b] +=
-          static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
-      // The commit callback records its resolved-intent outcomes through
-      // record_block_atomic(b, ...), which lands in this block's shard
-      // during a block-independent launch.
-      block_updated = commit(b, inner);
-    }
-    block_iters[b] = inner;
-  };
-  if (cfg.block_independent) {
-    run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
-  } else {
-    for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
-  }
-
-  KernelStats ks;
-  ks.name = name;
-  ks.config = cfg;
-  ks.block_inner_iterations = std::move(block_iters);
-  ks.cost = finalize_cost(cfg, work_, block_sync);
-  record_trace(ks, atomics_before);
-  return ks;
-}
-
 void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
   if (trace_ == nullptr) return;
   TraceEvent event;
@@ -312,121 +89,5 @@ void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
 }
 
 void Device::host_op(u64 count) { total_cycles_ += cost_.host_op * count; }
-
-// --- ThreadCtx ---------------------------------------------------------------
-
-void ThreadCtx::charge_alu(u64 n) { device_->charge(global_, n * device_->cost_.alu); }
-
-void ThreadCtx::charge_reads(u64 n) {
-  device_->charge(global_, n * device_->cost_.global_read);
-}
-
-void ThreadCtx::charge_writes(u64 n) {
-  device_->charge(global_, n * device_->cost_.global_write);
-}
-
-void ThreadCtx::charge_coalesced_reads(u64 n) {
-  device_->charge(global_, n * device_->cost_.coalesced_read);
-}
-
-void ThreadCtx::charge_coalesced_writes(u64 n) {
-  device_->charge(global_, n * device_->cost_.coalesced_write);
-}
-
-void ThreadCtx::charge_atomics(u64 n) {
-  device_->charge(global_, n * device_->cost_.atomic);
-}
-
-u32 ThreadCtx::atomic_cas(u32& loc, u32 expected, u32 desired) {
-  device_->charge(global_, device_->cost_.atomic);
-  const u32 old = loc;
-  if (old == expected) {
-    loc = desired;
-    stats_->record(AtomicOutcome::kCasSuccess);
-  } else {
-    stats_->record(AtomicOutcome::kCasFailure);
-  }
-  return old;
-}
-
-u64 ThreadCtx::atomic_cas(u64& loc, u64 expected, u64 desired) {
-  device_->charge(global_, device_->cost_.atomic);
-  const u64 old = loc;
-  if (old == expected) {
-    loc = desired;
-    stats_->record(AtomicOutcome::kCasSuccess);
-  } else {
-    stats_->record(AtomicOutcome::kCasFailure);
-  }
-  return old;
-}
-
-bool ThreadCtx::atomic_min(u32& loc, u32 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  if (value < loc) {
-    loc = value;
-    stats_->record(AtomicOutcome::kMinEffective);
-    return true;
-  }
-  stats_->record(AtomicOutcome::kMinIneffective);
-  return false;
-}
-
-bool ThreadCtx::atomic_max(u32& loc, u32 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  if (value > loc) {
-    loc = value;
-    stats_->record(AtomicOutcome::kMaxEffective);
-    return true;
-  }
-  stats_->record(AtomicOutcome::kMaxIneffective);
-  return false;
-}
-
-bool ThreadCtx::atomic_min(u64& loc, u64 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  if (value < loc) {
-    loc = value;
-    stats_->record(AtomicOutcome::kMinEffective);
-    return true;
-  }
-  stats_->record(AtomicOutcome::kMinIneffective);
-  return false;
-}
-
-bool ThreadCtx::atomic_max(u64& loc, u64 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  if (value > loc) {
-    loc = value;
-    stats_->record(AtomicOutcome::kMaxEffective);
-    return true;
-  }
-  stats_->record(AtomicOutcome::kMaxIneffective);
-  return false;
-}
-
-u32 ThreadCtx::atomic_add(u32& loc, u32 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  stats_->record(AtomicOutcome::kAdd);
-  const u32 old = loc;
-  loc = old + value;
-  return old;
-}
-
-u64 ThreadCtx::atomic_add(u64& loc, u64 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  stats_->record(AtomicOutcome::kAdd);
-  const u64 old = loc;
-  loc = old + value;
-  return old;
-}
-
-u8 ThreadCtx::atomic_exch(u8& loc, u8 value) {
-  device_->charge(global_, device_->cost_.atomic);
-  stats_->record(AtomicOutcome::kAdd);
-  const u8 old = loc;
-  loc = value;
-  return old;
-}
 
 }  // namespace eclp::sim

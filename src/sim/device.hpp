@@ -23,15 +23,30 @@
 //                              kernel (paper Figure 1);
 //  * a cycle cost model charged as threads execute (cost_model.hpp).
 //
+// Dispatch: the launch entry points are templates on the kernel body type,
+// so the body is invoked directly — inlinable, no heap allocation, no
+// indirect call per simulated thread. The only type erasure left is the
+// one the host thread pool genuinely requires: a block-independent launch
+// hands the pool one std::function per *launch* (called once per block),
+// never one per thread or per step. See docs/SIMULATOR.md ("Dispatch &
+// cost-charging internals").
+//
+// Cost charging is batched: a ThreadCtx accumulates its cycle tally in a
+// local register and flushes it into the per-thread work table once per
+// body/step invocation, instead of touching shared state on every memory
+// op. The flushed sums are identical to per-op charging (addition is
+// associative; see DESIGN.md §2), so every modeled number is unchanged.
+//
 // Determinism: with ScheduleMode::kDeterministic every run is bit-identical.
 // With kShuffled, step order is a pure function of the device seed, so
 // "nondeterminism" is reproducible too — rerunning with the same seed gives
 // the same interleaving (the paper's Table 3 corresponds to three seeds).
 #pragma once
 
-#include <functional>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/atomics.hpp"
@@ -75,10 +90,19 @@ enum class ScheduleMode : u8 {
   kShuffled,       ///< step order reshuffled every round from the device seed
 };
 
+/// Default (no-op) round hook for launch_cooperative.
+struct NoRoundHook {
+  void operator()(u64 /*round*/) const {}
+};
+
 class Device;
 
 /// Handle passed to kernel bodies; identifies the thread and provides
 /// instrumented operations that charge the cost model.
+///
+/// Charges accumulate in `pending_` (a local/register tally) and are
+/// flushed into the device's per-thread work table once per body/step
+/// invocation by the launch loop — never per operation.
 class ThreadCtx {
  public:
   u32 block_idx() const { return block_; }
@@ -92,47 +116,119 @@ class ThreadCtx {
   // --- instrumented memory operations -------------------------------------
   /// Global-memory load of `loc` (charges cost, returns the value).
   template <typename T>
-  T load(const T& loc);
+  T load(const T& loc) {
+    charge_reads(1);
+    return loc;
+  }
   /// Global-memory store (charges cost).
   template <typename T>
-  void store(T& loc, T value);
+  void store(T& loc, T value) {
+    charge_writes(1);
+    loc = value;
+  }
   /// Charge `n` ALU steps (loop control, comparisons, hashing...).
-  void charge_alu(u64 n = 1);
+  void charge_alu(u64 n = 1) { pending_ += n * cost_->alu; }
   /// Charge `n` plain global reads without going through load() — for bulk
   /// scans where the value flow is clearer with direct indexing.
-  void charge_reads(u64 n);
-  void charge_writes(u64 n);
+  void charge_reads(u64 n) { pending_ += n * cost_->global_read; }
+  void charge_writes(u64 n) { pending_ += n * cost_->global_write; }
   /// Coalesced (streaming) accesses: consecutive threads touch consecutive
   /// addresses — row offsets, a thread's own output slot. Much cheaper than
   /// the scattered accesses of adjacency chasing.
-  void charge_coalesced_reads(u64 n);
-  void charge_coalesced_writes(u64 n);
+  void charge_coalesced_reads(u64 n) { pending_ += n * cost_->coalesced_read; }
+  void charge_coalesced_writes(u64 n) {
+    pending_ += n * cost_->coalesced_write;
+  }
   /// Charge the cost of `n` atomic operations whose effect is applied
   /// elsewhere (the buffered-intent pattern of launch_block_jacobi).
-  void charge_atomics(u64 n);
+  void charge_atomics(u64 n) { pending_ += n * cost_->atomic; }
 
   // --- instrumented atomics ------------------------------------------------
   /// atomicCAS: returns the old value; outcome recorded.
-  u32 atomic_cas(u32& loc, u32 expected, u32 desired);
-  u64 atomic_cas(u64& loc, u64 expected, u64 desired);
+  u32 atomic_cas(u32& loc, u32 expected, u32 desired) {
+    return atomic_cas_impl(loc, expected, desired);
+  }
+  u64 atomic_cas(u64& loc, u64 expected, u64 desired) {
+    return atomic_cas_impl(loc, expected, desired);
+  }
   /// atomicMin/Max: returns true when the operation changed the target.
-  bool atomic_min(u32& loc, u32 value);
-  bool atomic_max(u32& loc, u32 value);
-  bool atomic_min(u64& loc, u64 value);
-  bool atomic_max(u64& loc, u64 value);
+  bool atomic_min(u32& loc, u32 value) { return atomic_min_impl(loc, value); }
+  bool atomic_min(u64& loc, u64 value) { return atomic_min_impl(loc, value); }
+  bool atomic_max(u32& loc, u32 value) { return atomic_max_impl(loc, value); }
+  bool atomic_max(u64& loc, u64 value) { return atomic_max_impl(loc, value); }
   /// atomicAdd: returns the previous value.
-  u32 atomic_add(u32& loc, u32 value);
-  u64 atomic_add(u64& loc, u64 value);
+  u32 atomic_add(u32& loc, u32 value) { return atomic_add_impl(loc, value); }
+  u64 atomic_add(u64& loc, u64 value) { return atomic_add_impl(loc, value); }
   /// atomicExch on a byte (ECL-MIS status updates are single-byte stores).
-  u8 atomic_exch(u8& loc, u8 value);
+  u8 atomic_exch(u8& loc, u8 value) {
+    pending_ += cost_->atomic;
+    stats_->record(AtomicOutcome::kAdd);
+    const u8 old = loc;
+    loc = value;
+    return old;
+  }
 
  private:
   friend class Device;
-  Device* device_ = nullptr;
+
+  template <typename T>
+  T atomic_cas_impl(T& loc, T expected, T desired) {
+    pending_ += cost_->atomic;
+    const T old = loc;
+    if (old == expected) {
+      loc = desired;
+      stats_->record(AtomicOutcome::kCasSuccess);
+    } else {
+      stats_->record(AtomicOutcome::kCasFailure);
+    }
+    return old;
+  }
+  template <typename T>
+  bool atomic_min_impl(T& loc, T value) {
+    pending_ += cost_->atomic;
+    if (value < loc) {
+      loc = value;
+      stats_->record(AtomicOutcome::kMinEffective);
+      return true;
+    }
+    stats_->record(AtomicOutcome::kMinIneffective);
+    return false;
+  }
+  template <typename T>
+  bool atomic_max_impl(T& loc, T value) {
+    pending_ += cost_->atomic;
+    if (value > loc) {
+      loc = value;
+      stats_->record(AtomicOutcome::kMaxEffective);
+      return true;
+    }
+    stats_->record(AtomicOutcome::kMaxIneffective);
+    return false;
+  }
+  template <typename T>
+  T atomic_add_impl(T& loc, T value) {
+    pending_ += cost_->atomic;
+    stats_->record(AtomicOutcome::kAdd);
+    const T old = loc;
+    loc = old + value;
+    return old;
+  }
+
+  /// Commit the accumulated tally into this thread's work-table slot.
+  /// Called by the launch loop after every body/step invocation.
+  void flush_cost() {
+    *work_slot_ += pending_;
+    pending_ = 0;
+  }
+
+  const CostModel* cost_ = nullptr;
+  /// This thread's slot in the device's per-launch work table.
+  u64* work_slot_ = nullptr;
   /// Where atomic outcomes are tallied: the device-wide AtomicStats for
   /// sequential launches, this block's private shard for block-independent
   /// ones (merged in block-index order at launch end).
   AtomicStats* stats_ = nullptr;
+  u64 pending_ = 0;  ///< cycles charged since the last flush
   u32 block_ = 0;
   u32 thread_ = 0;
   u32 global_ = 0;
@@ -146,9 +242,60 @@ class Device {
                   ScheduleMode mode = ScheduleMode::kDeterministic);
 
   // --- launch disciplines --------------------------------------------------
+  // All launch entry points are templates on the callable type: the body is
+  // invoked directly (and inlined where the compiler sees fit), with no
+  // std::function construction and no per-thread indirect call.
+
   /// Run `body(ctx)` once for every thread of the grid.
-  KernelStats launch(const std::string& name, LaunchConfig cfg,
-                     const std::function<void(ThreadCtx&)>& body);
+  template <typename Body>
+  KernelStats launch(const std::string& name, LaunchConfig cfg, Body&& body) {
+    static_assert(std::is_invocable_v<Body&, ThreadCtx&>,
+                  "kernel body must be callable as body(ThreadCtx&)");
+    ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    const u64 atomics_before = atomics_.total();
+    const u64 launch_index = launches_;
+    work_.assign(cfg.total_threads(), 0);
+
+    if (cfg.block_independent) {
+      // Block-parallel path: each block runs to completion independently.
+      // Thread order within a block is id order, or a per-block shuffled
+      // stream — never a draw from the device-wide rng_, so the execution
+      // is a pure function of (seed, launch index, block) and bit-identical
+      // for any worker count.
+      run_blocks(cfg, [&](u32 b, AtomicStats& shard) {
+        if (mode_ == ScheduleMode::kDeterministic) {
+          for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+            run_thread(cfg, b, t, &shard, body);
+          }
+        } else {
+          Rng block_rng(block_stream_seed(launch_index, b));
+          for (const u32 t : block_rng.permutation(cfg.threads_per_block)) {
+            run_thread(cfg, b, t, &shard, body);
+          }
+        }
+      });
+    } else if (mode_ == ScheduleMode::kDeterministic) {
+      for (u32 b = 0; b < cfg.blocks; ++b) {
+        for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+          run_thread(cfg, b, t, nullptr, body);
+        }
+      }
+    } else {
+      // Shuffled run-to-completion: a seeded permutation of global ids.
+      const auto order = rng_.permutation(cfg.total_threads());
+      for (const u32 gid : order) {
+        run_thread(cfg, gid / cfg.threads_per_block,
+                   gid % cfg.threads_per_block, nullptr, body);
+      }
+    }
+
+    KernelStats ks;
+    ks.name = name;
+    ks.config = cfg;
+    ks.cost = finalize_cost(cfg, work_, {});
+    record_trace(ks, atomics_before);
+    return ks;
+  }
 
   /// Asynchronous kernel: `step(ctx)` is one outer-loop iteration of a
   /// thread; it returns true when the thread has finished. The scheduler
@@ -157,21 +304,107 @@ class Device {
   /// publish a round snapshot when they model the bounded staleness of
   /// massively parallel execution (see algos/mis). `max_rounds` guards
   /// against non-terminating kernels under test.
-  KernelStats launch_cooperative(
-      const std::string& name, LaunchConfig cfg,
-      const std::function<bool(ThreadCtx&)>& step,
-      const std::function<void(u64)>& on_round_end = {},
-      u64 max_rounds = 1u << 22);
+  template <typename Step, typename OnRoundEnd = NoRoundHook>
+  KernelStats launch_cooperative(const std::string& name, LaunchConfig cfg,
+                                 Step&& step,
+                                 OnRoundEnd&& on_round_end = OnRoundEnd{},
+                                 u64 max_rounds = 1u << 22) {
+    static_assert(std::is_invocable_r_v<bool, Step&, ThreadCtx&>,
+                  "cooperative step must be callable as bool step(ThreadCtx&)");
+    static_assert(std::is_invocable_v<OnRoundEnd&, u64>,
+                  "round hook must be callable as on_round_end(u64 round)");
+    ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    const u64 atomics_before = atomics_.total();
+    work_.assign(cfg.total_threads(), 0);
+
+    std::vector<u32> alive(cfg.total_threads());
+    for (u32 i = 0; i < cfg.total_threads(); ++i) alive[i] = i;
+
+    u64 rounds = 0;
+    while (!alive.empty()) {
+      ECLP_CHECK_MSG(rounds < max_rounds,
+                     "cooperative kernel '" << name << "' exceeded "
+                                            << max_rounds << " rounds");
+      ++rounds;
+      if (mode_ == ScheduleMode::kShuffled) rng_.shuffle(alive);
+      // Survivors compact in place (reads stay ahead of writes), keeping
+      // the same order the old copy-into-next loop produced.
+      usize out = 0;
+      for (usize i = 0; i < alive.size(); ++i) {
+        const u32 gid = alive[i];
+        ThreadCtx ctx = make_ctx(cfg, gid / cfg.threads_per_block,
+                                 gid % cfg.threads_per_block);
+        const bool done = step(ctx);
+        ctx.flush_cost();
+        if (!done) alive[out++] = gid;
+      }
+      alive.resize(out);
+      on_round_end(rounds);
+    }
+
+    KernelStats ks;
+    ks.name = name;
+    ks.config = cfg;
+    ks.cooperative_rounds = rounds;
+    ks.cost = finalize_cost(cfg, work_, {});
+    record_trace(ks, atomics_before);
+    return ks;
+  }
 
   /// Block-synchronous do-while kernel (ECL-SCC's propagation): each block
   /// repeats { every thread runs `step`; block-wide sync } while any thread
   /// in the block reported an update. Returns per-block inner iteration
   /// counts. `step(ctx, inner_iter)` returns "did this thread update".
   /// Updates become visible immediately (Gauss-Seidel within the sweep).
-  KernelStats launch_block_iterative(
-      const std::string& name, LaunchConfig cfg,
-      const std::function<bool(ThreadCtx&, u64)>& step,
-      u64 max_inner = 1u << 22);
+  template <typename Step>
+  KernelStats launch_block_iterative(const std::string& name, LaunchConfig cfg,
+                                     Step&& step, u64 max_inner = 1u << 22) {
+    static_assert(
+        std::is_invocable_r_v<bool, Step&, ThreadCtx&, u64>,
+        "block-iterative step must be callable as bool step(ThreadCtx&, u64)");
+    ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    const u64 atomics_before = atomics_.total();
+    work_.assign(cfg.total_threads(), 0);
+
+    std::vector<u64> block_iters(cfg.blocks, 0);
+    std::vector<u64> block_sync(cfg.blocks, 0);
+    const auto run_block = [&](u32 b, AtomicStats* shard) {
+      bool block_updated = true;
+      u64 inner = 0;
+      while (block_updated) {
+        ECLP_CHECK_MSG(inner < max_inner,
+                       "block-iterative kernel '" << name << "' block " << b
+                                                  << " exceeded " << max_inner
+                                                  << " inner iterations");
+        ++inner;
+        block_updated = false;
+        for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+          ThreadCtx ctx = make_ctx(cfg, b, t, shard);
+          block_updated |= step(ctx, inner);
+          ctx.flush_cost();
+        }
+        // Block-wide synchronization: every resident thread participates,
+        // active or not — this is the overhead the paper's §6.2.1 tunes
+        // away.
+        block_sync[b] +=
+            static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
+      }
+      block_iters[b] = inner;
+    };
+    if (cfg.block_independent) {
+      run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
+    } else {
+      for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
+    }
+
+    KernelStats ks;
+    ks.name = name;
+    ks.config = cfg;
+    ks.block_inner_iterations = std::move(block_iters);
+    ks.cost = finalize_cost(cfg, work_, block_sync);
+    record_trace(ks, atomics_before);
+    return ks;
+  }
 
   /// Like launch_block_iterative, but with *sweep-snapshot* visibility: the
   /// kernel's `step` only reads committed state and buffers its writes;
@@ -181,10 +414,59 @@ class Device {
   /// hop per sweep regardless of thread ids — a serialized sweep would let
   /// chains aligned with the serialization order collapse in one sweep and
   /// chains against it crawl, an artifact of the simulator, not the machine.
-  KernelStats launch_block_jacobi(
-      const std::string& name, LaunchConfig cfg,
-      const std::function<void(ThreadCtx&, u64)>& step,
-      const std::function<bool(u32, u64)>& commit, u64 max_inner = 1u << 22);
+  template <typename Step, typename Commit>
+  KernelStats launch_block_jacobi(const std::string& name, LaunchConfig cfg,
+                                  Step&& step, Commit&& commit,
+                                  u64 max_inner = 1u << 22) {
+    static_assert(
+        std::is_invocable_v<Step&, ThreadCtx&, u64>,
+        "block-jacobi step must be callable as step(ThreadCtx&, u64)");
+    static_assert(
+        std::is_invocable_r_v<bool, Commit&, u32, u64>,
+        "block-jacobi commit must be callable as bool commit(u32 block, u64)");
+    ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    const u64 atomics_before = atomics_.total();
+    work_.assign(cfg.total_threads(), 0);
+
+    std::vector<u64> block_iters(cfg.blocks, 0);
+    std::vector<u64> block_sync(cfg.blocks, 0);
+    const auto run_block = [&](u32 b, AtomicStats* shard) {
+      bool block_updated = true;
+      u64 inner = 0;
+      while (block_updated) {
+        ECLP_CHECK_MSG(inner < max_inner,
+                       "block-jacobi kernel '" << name << "' block " << b
+                                               << " exceeded " << max_inner
+                                               << " inner iterations");
+        ++inner;
+        for (u32 t = 0; t < cfg.threads_per_block; ++t) {
+          ThreadCtx ctx = make_ctx(cfg, b, t, shard);
+          step(ctx, inner);
+          ctx.flush_cost();
+        }
+        block_sync[b] +=
+            static_cast<u64>(cfg.threads_per_block) * cost_.sync_per_thread;
+        // The commit callback records its resolved-intent outcomes through
+        // record_block_atomic(b, ...), which lands in this block's shard
+        // during a block-independent launch.
+        block_updated = commit(b, inner);
+      }
+      block_iters[b] = inner;
+    };
+    if (cfg.block_independent) {
+      run_blocks(cfg, [&](u32 b, AtomicStats& shard) { run_block(b, &shard); });
+    } else {
+      for (u32 b = 0; b < cfg.blocks; ++b) run_block(b, nullptr);
+    }
+
+    KernelStats ks;
+    ks.name = name;
+    ks.config = cfg;
+    ks.block_inner_iterations = std::move(block_iters);
+    ks.cost = finalize_cost(cfg, work_, block_sync);
+    record_trace(ks, atomics_before);
+    return ks;
+  }
 
   // --- host-side modeling ---------------------------------------------------
   /// Charge one host-side bookkeeping operation (e.g. recomputing a launch
@@ -230,22 +512,61 @@ class Device {
   static constexpr u32 kWarpSize = 32;
 
  private:
-  friend class ThreadCtx;
-
-  void charge(u32 global_thread, u64 cycles);
   KernelCost finalize_cost(const LaunchConfig& cfg,
                            std::span<const u64> thread_work,
                            std::span<const u64> block_sync);
-  ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
-                     AtomicStats* stats = nullptr);
   void record_trace(const KernelStats& stats, u64 atomics_before);
+
+  ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
+                     AtomicStats* stats = nullptr) {
+    ThreadCtx ctx;
+    ctx.cost_ = &cost_;
+    ctx.stats_ = stats == nullptr ? &atomics_ : stats;
+    ctx.block_ = block;
+    ctx.thread_ = thread;
+    ctx.global_ = block * cfg.threads_per_block + thread;
+    ctx.work_slot_ = &work_[ctx.global_];
+    ctx.block_dim_ = cfg.threads_per_block;
+    ctx.grid_dim_ = cfg.blocks;
+    return ctx;
+  }
+
+  /// Run one thread's body and flush its batched cost tally.
+  template <typename Body>
+  void run_thread(const LaunchConfig& cfg, u32 block, u32 thread,
+                  AtomicStats* stats, Body& body) {
+    ThreadCtx ctx = make_ctx(cfg, block, thread, stats);
+    body(ctx);
+    ctx.flush_cost();
+  }
 
   /// Execute `block_body(block, stats_shard)` for every block of a
   /// block-independent launch — across the pool when attached, in block
   /// order otherwise — then fold the per-block atomic-outcome shards into
   /// the device tally in block-index order. Identical results either way.
-  void run_blocks(const LaunchConfig& cfg,
-                  const std::function<void(u32, AtomicStats&)>& block_body);
+  /// The pool hand-off is the one remaining type-erasure boundary: one
+  /// std::function per launch, invoked once per block.
+  template <typename BlockBody>
+  void run_blocks(const LaunchConfig& cfg, BlockBody&& block_body) {
+    std::vector<BlockStats> shards(cfg.blocks);
+    block_stats_ = &shards;
+    try {
+      if (pool_ != nullptr && pool_->size() > 1 && cfg.blocks > 1) {
+        pool_->run(cfg.blocks, [&](u64 b, u32 /*worker*/) {
+          block_body(static_cast<u32>(b), shards[b].stats);
+        });
+      } else {
+        for (u32 b = 0; b < cfg.blocks; ++b) block_body(b, shards[b].stats);
+      }
+    } catch (...) {
+      block_stats_ = nullptr;
+      throw;
+    }
+    block_stats_ = nullptr;
+    // Deterministic merge: block-index order, independent of which worker
+    // ran which block (and of whether a pool was attached at all).
+    for (u32 b = 0; b < cfg.blocks; ++b) atomics_.merge(shards[b].stats);
+  }
 
   /// Seed of the per-block PRNG stream for block `b` of the launch with
   /// index `launch_index` — a pure function of the device seed, so shuffled
@@ -265,7 +586,8 @@ class Device {
   u64 launches_ = 0;
   Trace* trace_ = nullptr;
   Pool* pool_ = nullptr;
-  // Work accumulator of the launch currently executing.
+  // Work accumulator of the launch currently executing; capacity is reused
+  // across launches (assign, not reconstruct).
   std::vector<u64> work_;
   // Per-block atomic-outcome shards of the block-independent launch
   // currently executing (null outside one).
@@ -274,19 +596,5 @@ class Device {
   };
   std::vector<BlockStats>* block_stats_ = nullptr;
 };
-
-// --- ThreadCtx inline implementations ---------------------------------------
-
-template <typename T>
-T ThreadCtx::load(const T& loc) {
-  charge_reads(1);
-  return loc;
-}
-
-template <typename T>
-void ThreadCtx::store(T& loc, T value) {
-  charge_writes(1);
-  loc = value;
-}
 
 }  // namespace eclp::sim

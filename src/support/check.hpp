@@ -43,3 +43,22 @@ namespace detail {
                                    eclp_check_os_.str());                 \
     }                                                                     \
   } while (false)
+
+// Hot-path checks: bounds checks executed once per simulated memory op or
+// counter increment, where the check itself is a measurable fraction of the
+// work. ECLP_ASSERT* behaves exactly like ECLP_CHECK* when ECLP_HARDENED is
+// nonzero (the default, and what every test build uses); bench builds
+// compile with ECLP_HARDENED=0 (see bench/CMakeLists.txt) and the condition
+// is not evaluated — only syntax-checked — mirroring the NDEBUG/assert
+// convention. Use ECLP_CHECK* for everything that is not per-element hot.
+#ifndef ECLP_HARDENED
+#define ECLP_HARDENED 1
+#endif
+
+#if ECLP_HARDENED
+#define ECLP_ASSERT(cond) ECLP_CHECK(cond)
+#define ECLP_ASSERT_MSG(cond, stream_expr) ECLP_CHECK_MSG(cond, stream_expr)
+#else
+#define ECLP_ASSERT(cond) ((void)sizeof(!(cond)))
+#define ECLP_ASSERT_MSG(cond, stream_expr) ((void)sizeof(!(cond)))
+#endif

@@ -217,7 +217,7 @@ TEST(ShardedCounters, TotalsIndependentOfWorkerCount) {
   }
 }
 
-TEST(ShardedCounters, ResizeAndResetDropWorkerShards) {
+TEST(ShardedCounters, ResizeAndResetClearWorkerShards) {
   profile::PerBlockCounter c(4);
   set_current_worker_slot(2);
   c.inc(1, 5);
@@ -230,6 +230,45 @@ TEST(ShardedCounters, ResizeAndResetDropWorkerShards) {
   set_current_worker_slot(0);
   c.reset();
   EXPECT_EQ(c.total(), 0u);
+}
+
+/// resize() keeps worker-shard arenas alive (assign, not reconstruct): a
+/// shard a worker populated before a resize must keep counting correctly
+/// afterwards — re-zeroed, re-sized to the new bucket count (grow and
+/// shrink), never stale and never lost. This is the launch-loop pattern:
+/// one counter, resize() before every instrumented launch.
+TEST(ShardedCounters, ShardsSurviveResizeWithoutLossOrLeak) {
+  profile::PerThreadCounter c(8);
+  set_current_worker_slot(4);
+  for (usize b = 0; b < 8; ++b) c.inc(b, 10 + b);
+  set_current_worker_slot(0);
+  EXPECT_EQ(c.total(), 8 * 10 + 7 * 8 / 2);
+
+  // Grow: old shard contents must not leak into the new window, and the
+  // reused shard must cover the new, larger index range.
+  c.resize(16);
+  EXPECT_EQ(c.total(), 0u);
+  set_current_worker_slot(4);
+  c.inc(15, 3);  // index only valid if the shard was re-sized, not kept
+  set_current_worker_slot(0);
+  EXPECT_EQ(c.at(15), 3u);
+  EXPECT_EQ(c.total(), 3u);
+
+  // Shrink: same guarantees in the other direction, and a second worker's
+  // shard (allocated before the shrink) participates too.
+  set_current_worker_slot(6);
+  c.inc(12, 100);
+  set_current_worker_slot(0);
+  c.resize(4);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.total(), 0u);
+  set_current_worker_slot(4);
+  c.inc(1, 2);
+  set_current_worker_slot(6);
+  c.inc(1, 5);
+  set_current_worker_slot(0);
+  EXPECT_EQ(c.at(1), 7u);
+  EXPECT_EQ(c.total(), 7u);
 }
 
 }  // namespace

@@ -202,8 +202,8 @@ TEST(Cooperative, RoundCallbackFiresEveryRound) {
 TEST(Cooperative, RunawayKernelIsCaught) {
   Device dev;
   EXPECT_THROW(dev.launch_cooperative(
-                   "spin", {1, 1}, [](ThreadCtx&) { return false; }, {},
-                   /*max_rounds=*/100),
+                   "spin", {1, 1}, [](ThreadCtx&) { return false; },
+                   NoRoundHook{}, /*max_rounds=*/100),
                CheckFailure);
 }
 
