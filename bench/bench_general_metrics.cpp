@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
     sim::Device dev;
     sim::Trace trace;
     dev.set_trace(&trace);
+    // --profile=<path> (or ECLP_PROFILE) captures this five-algorithm sweep
+    // as one profiling session: every run() annotates its phases.
+    const auto session = harness::maybe_session(ctx, dev);
     const auto g = gen::find_input("as-skitter").make(ctx.scale);
     algos::cc::run(dev, g);
     algos::mis::run(dev, g);

@@ -18,6 +18,7 @@
 #include "graph/properties.hpp"
 #include "graph/transforms.hpp"
 #include "profile/counters.hpp"
+#include "profile/session.hpp"
 #include "sim/device.hpp"
 
 namespace {
@@ -58,6 +59,49 @@ void BM_SimAtomicCas(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 256 * 16);
 }
 BENCHMARK(BM_SimAtomicCas);
+
+// --- profiling session overhead ----------------------------------------------
+// The observability contract (docs/OBSERVABILITY.md): with no session
+// attached a launch pays one null check and a ScopedSpan annotation one
+// thread-local load — compare against BM_SimLaunchOverhead and
+// BM_ScopedSpanNoSession. With a session attached every launch records a
+// closed kernel span and every annotation opens/closes a phase span; the
+// batch variants below amortize session setup and bound the span log.
+
+void BM_ScopedSpanNoSession(benchmark::State& state) {
+  for (auto _ : state) {
+    profile::ScopedSpan span("phase");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpanNoSession);
+
+void BM_SessionAttachedLaunch(benchmark::State& state) {
+  sim::Device dev;
+  constexpr u32 kBatch = 256;
+  for (auto _ : state) {
+    profile::Session session(dev);
+    for (u32 i = 0; i < kBatch; ++i) {
+      dev.launch("noop", {1, 32}, [](sim::ThreadCtx&) {});
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_SessionAttachedLaunch);
+
+void BM_SessionSpanRecording(benchmark::State& state) {
+  sim::Device dev;
+  constexpr u32 kBatch = 1024;
+  for (auto _ : state) {
+    profile::Session session(dev);
+    for (u32 i = 0; i < kBatch; ++i) {
+      profile::ScopedSpan span("phase");
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_SessionSpanRecording);
 
 void BM_CounterPerThreadInc(benchmark::State& state) {
   profile::PerThreadCounter counter(1u << 16);

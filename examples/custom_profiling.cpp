@@ -12,11 +12,18 @@
 //     paper §3.1.1),
 //   * GlobalCounters for idle vs. active threads (paper §3.1.3-3.1.4),
 //   * the device's AtomicStats for the CAS failure rate (paper §3.1.5).
+//
+// Pass --profile=out.json (or set ECLP_PROFILE) to also record a profiling
+// session: per-level spans plus every launch, exported as an eclp.profile
+// document and a Perfetto trace (docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "gen/suite.hpp"
 #include "graph/properties.hpp"
 #include "profile/registry.hpp"
+#include "profile/session.hpp"
 #include "sim/device.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -31,6 +38,10 @@ int main(int argc, char** argv) {
                  "host workers for block-parallel simulation "
                  "(0 = one per hardware thread)",
                  "");
+  cli.add_option("profile",
+                 "write a profiling session (eclp.profile JSON + Perfetto "
+                 ".trace.json) to this path; overrides ECLP_PROFILE",
+                 "");
   cli.parse(argc, argv);
   if (!cli.get("sim-threads").empty()) {
     sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
@@ -41,6 +52,20 @@ int main(int argc, char** argv) {
 
   sim::Device dev;
   profile::CounterRegistry reg;
+
+  // Optional profiling session: spans cover the whole BFS and each level.
+  std::string profile_path = cli.get("profile");
+  if (profile_path.empty()) {
+    const char* env = std::getenv("ECLP_PROFILE");
+    if (env != nullptr) profile_path = env;
+  }
+  std::unique_ptr<profile::Session> session;
+  if (!profile_path.empty()) {
+    session = std::make_unique<profile::Session>(dev, &reg);
+    session->set_meta("tool", "custom_profiling");
+    session->set_meta("input", cli.get("input"));
+    session->set_output(profile_path);
+  }
 
   // --- the user's own BFS, manually instrumented -----------------------------
   constexpr u32 kUnvisited = ~u32{0};
@@ -55,9 +80,12 @@ int main(int argc, char** argv) {
   constexpr u32 kTpb = 256;
   auto& per_thread = reg.make<profile::PerThreadCounter>("edges per thread");
 
+  profile::ScopedSpan bfs_span("custom-bfs", profile::SpanKind::kAlgorithm);
   u32 level = 0;
   while (!frontier.empty()) {
     ++level;
+    profile::ScopedSpan level_span(profile::SpanKind::kIteration, "level",
+                                   level);
     const u32 blocks =
         static_cast<u32>((frontier.size() + kTpb - 1) / kTpb);
     const sim::LaunchConfig cfg{blocks, kTpb};
@@ -90,6 +118,12 @@ int main(int argc, char** argv) {
                 level, frontier.size(), s.mean, s.max,
                 s.mean > 0 ? s.max / s.mean : 0.0);
     frontier = std::move(next);
+  }
+  bfs_span.end();
+  if (session != nullptr) {
+    session.reset();  // finalize + write both artifacts
+    std::printf("profile: %s (+ %s)\n", profile_path.c_str(),
+                profile::Session::trace_path_for(profile_path).c_str());
   }
 
   std::printf("\n%s\n", reg.report("BFS counters").to_text().c_str());

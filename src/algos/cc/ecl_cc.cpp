@@ -4,6 +4,7 @@
 
 #include "algos/common.hpp"
 #include "graph/properties.hpp"
+#include "profile/session.hpp"
 
 namespace eclp::algos::cc {
 
@@ -104,6 +105,7 @@ void process_vertex_edges(sim::ThreadCtx& ctx, const graph::Csr& g,
 
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   ECLP_CHECK_MSG(!g.directed(), "ECL-CC expects an undirected graph");
+  profile::ScopedSpan algo_span("ecl-cc", profile::SpanKind::kAlgorithm);
   const vidx n = g.num_vertices();
   Result res;
   res.profile = Profile{};
@@ -129,6 +131,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   init_cfg.block_independent = true;
   std::vector<u64> initialized_pb(init_cfg.blocks, 0);
   std::vector<u64> traversed_pb(init_cfg.blocks, 0);
+  profile::ScopedSpan init_span("init");
   dev.launch("cc_init", init_cfg,
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
@@ -167,8 +170,10 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   for (const u64 c : initialized_pb) prof.vertices_initialized += c;
   for (const u64 c : traversed_pb) prof.init_neighbors_traversed += c;
   res.init_cycles = dev.total_cycles() - cycles_before;
+  init_span.end();
 
   // --- degree binning --------------------------------------------------------
+  profile::ScopedSpan binning_span("degree binning");
   std::vector<vidx> low_bin, mid_bin, high_bin;
   for (vidx v = 0; v < n; ++v) {
     const vidx d = g.degree(v);
@@ -183,8 +188,10 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   prof.low_bin_vertices = low_bin.size();
   prof.mid_bin_vertices = mid_bin.size();
   prof.high_bin_vertices = high_bin.size();
+  binning_span.end();
 
   // --- compute kernels (3, customized per degree bin; paper §2.1) -----------
+  profile::ScopedSpan compute_span("compute");
   if (!low_bin.empty()) {
     dev.launch("cc_compute_low", blocks_for(low_bin.size(), opt.threads_per_block),
                [&](sim::ThreadCtx& ctx) {
@@ -221,7 +228,10 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
                });
   }
 
+  compute_span.end();
+
   // --- finalize: full pointer jumping ----------------------------------------
+  profile::ScopedSpan finalize_span("finalize");
   dev.launch("cc_finalize", blocks_for(n, opt.threads_per_block),
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "algos/common.hpp"
+#include "profile/session.hpp"
 
 namespace eclp::algos::gc {
 
@@ -92,6 +93,7 @@ class Bitmaps {
 
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   ECLP_CHECK_MSG(!g.directed(), "ECL-GC expects an undirected graph");
+  profile::ScopedSpan algo_span("ecl-gc", profile::SpanKind::kAlgorithm);
   const vidx n = g.num_vertices();
   Result res;
   const u64 cycles_before = dev.total_cycles();
@@ -105,6 +107,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // below depend on cross-block color visibility and stay sequential.
   sim::LaunchConfig init_cfg = blocks_for(n, opt.threads_per_block);
   init_cfg.block_independent = true;
+  profile::ScopedSpan init_span("init");
   dev.launch("gc_init_degree", init_cfg,
              [&](sim::ThreadCtx& ctx) {
                for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
@@ -149,6 +152,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     (g.degree(v) > kLargeDegree ? large_list : small_list).push_back(v);
   }
   res.run_large.large_vertices = large_list.size();
+  init_span.end();
 
   // --- coloring rounds --------------------------------------------------------
   // One processing pass over a vertex. Memory charges are *counted* rather
@@ -221,6 +225,8 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   std::vector<vidx> next;
   while (!small_list.empty() || !large_list.empty()) {
     res.host_iterations++;
+    profile::ScopedSpan round_span(profile::SpanKind::kIteration, "round",
+                                   res.host_iterations);
     if (!small_list.empty()) {
       next.clear();
       dev.launch("gc_run_small",

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algos/common.hpp"
+#include "profile/session.hpp"
 #include "support/prng.hpp"
 
 namespace eclp::algos::mis {
@@ -40,6 +41,7 @@ u8 priority_byte(vidx v, vidx degree) {
 
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   ECLP_CHECK_MSG(!g.directed(), "ECL-MIS expects an undirected graph");
+  profile::ScopedSpan algo_span("ecl-mis", profile::SpanKind::kAlgorithm);
   const vidx n = g.num_vertices();
   sim::LaunchConfig cfg;
   cfg.blocks = opt.blocks;
@@ -68,12 +70,14 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // not — its mid-round snapshot refreshes are order-dependent by design.
   sim::LaunchConfig init_cfg = cfg;
   init_cfg.block_independent = true;
+  profile::ScopedSpan init_span("init");
   dev.launch("mis_init", init_cfg, [&](sim::ThreadCtx& ctx) {
     for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
       ctx.charge_reads(2);  // degree from row offsets
       ctx.store(stat[v], byte_of(v));
     }
   });
+  init_span.end();
   // Strict total order on undecided vertices under the chosen priority.
   const auto wins = [&](u8 stat_a, vidx a, u8 stat_b, vidx b) {
     if (opt.priority == Priority::kVertexId) return a > b;
@@ -101,6 +105,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
           : std::max<u64>(1, n / opt.snapshot_refreshes_per_round);
   u64 processed_since_refresh = 0;
 
+  profile::ScopedSpan select_span("selection");
   dev.launch_cooperative(
       "mis_select", cfg,
       [&](sim::ThreadCtx& ctx) {

@@ -5,6 +5,7 @@
 
 #include "algos/common.hpp"
 #include "profile/conflict.hpp"
+#include "profile/session.hpp"
 #include "support/stats.hpp"
 
 namespace eclp::algos::mst {
@@ -68,6 +69,7 @@ std::vector<UniqueEdge> unique_edges(const graph::Csr& g) {
 
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   ECLP_CHECK_MSG(!g.directed(), "ECL-MST expects an undirected graph");
+  profile::ScopedSpan algo_span("ecl-mst", profile::SpanKind::kAlgorithm);
   const vidx n = g.num_vertices();
   const auto edges = unique_edges(g);
   const u32 num_edges = static_cast<u32>(edges.size());
@@ -84,6 +86,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   sim::LaunchConfig init_cfg =
       blocks_for(std::max<u64>(n, 1), opt.threads_per_block);
   init_cfg.block_independent = true;
+  profile::ScopedSpan init_span("init");
   dev.launch("mst_init", init_cfg, [&](sim::ThreadCtx& ctx) {
     for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
       ctx.store(parent[v], v);
@@ -104,6 +107,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   for (u32 e = 0; e < num_edges; ++e) {
     (edges[e].w <= threshold ? worklist : heavy).push_back(e);
   }
+  init_span.end();
 
   // The original computes the launch geometry once, from the initial
   // worklist, and reuses it every iteration (paper §6.1.4: "the launch
@@ -137,6 +141,9 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
     metrics.index = filtering ? ++filter_index : ++regular_index;
     metrics.launched_threads = cfg.total_threads();
     conflicts.reset();
+    profile::ScopedSpan iter_span(profile::SpanKind::kIteration,
+                                  filtering ? "filter" : "regular",
+                                  metrics.index);
 
     // --- K1: lightest-edge competition ---------------------------------------
     // Threads of one block race: their non-atomic pre-checks read the state

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algos/common.hpp"
+#include "profile/session.hpp"
 
 namespace eclp::algos::scc {
 
@@ -27,6 +28,7 @@ std::vector<Arc> flatten_arcs(const graph::Csr& g) {
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   ECLP_CHECK_MSG(g.directed(), "ECL-SCC expects a directed graph");
   ECLP_CHECK(opt.edges_per_thread >= 1);
+  profile::ScopedSpan algo_span("ecl-scc", profile::SpanKind::kAlgorithm);
   const vidx n = g.num_vertices();
   const auto arcs = flatten_arcs(g);
   const u64 num_arcs = arcs.size();
@@ -66,11 +68,13 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   while (remaining > 0) {
     ++m;
     ECLP_CHECK_MSG(m <= n + 1, "ECL-SCC failed to converge");
+    profile::ScopedSpan round_span(profile::SpanKind::kIteration, "round", m);
 
     // --- stage 0 (optional): trimming ----------------------------------------
     // A live vertex with no live in-arc or no live out-arc is on no cycle:
     // settle it as a singleton and let its arcs die, repeating to a fixed
     // point (chains peel completely without any propagation).
+    profile::ScopedSpan trim_span("trim");
     while (opt.trim) {
       // Per-block partial counts, summed in block order after the launch so
       // the total never depends on block execution order.
@@ -111,9 +115,11 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
       });
       dev.host_op();  // trimmed-count readback drives the repeat decision
     }
+    trim_span.end();
     if (remaining == 0) break;
 
     // --- stage 1: signature initialization ----------------------------------
+    profile::ScopedSpan prop_span("propagation");
     dev.launch("scc_init_signatures", vertex_par_cfg, [&](sim::ThreadCtx& ctx) {
       for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
         ctx.charge_reads(1);
@@ -242,8 +248,10 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
       if (launch_updates == 0) break;  // grid-wide fixed point
     }
     res.inner_per_outer.push_back(inner_n);
+    prop_span.end();
 
     // --- stage 3: matching + edge removal ------------------------------------
+    profile::ScopedSpan match_span("match");
     std::vector<u64> settled_per_block(vertex_cfg.blocks, 0);
     dev.launch("scc_match", vertex_par_cfg, [&](sim::ThreadCtx& ctx) {
       for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {

@@ -103,6 +103,11 @@ BenchContext parse(int argc, const char* const* argv,
                      "(0 = one per hardware thread; overrides "
                      "ECLP_SIM_THREADS)",
                      "");
+  ctx.cli.add_option("profile",
+                     "write a profiling-session artifact (eclp.profile JSON "
+                     "plus a .trace.json Perfetto trace) to this path; "
+                     "overrides ECLP_PROFILE",
+                     "");
   ctx.cli.add_flag("help", "show usage");
   ctx.cli.parse(argc, argv);
   if (ctx.cli.get_flag("help")) {
@@ -116,6 +121,13 @@ BenchContext parse(int argc, const char* const* argv,
   ECLP_CHECK(ctx.runs >= 1);
   if (!ctx.cli.get("sim-threads").empty()) {
     sim::set_sim_threads(static_cast<u32>(ctx.cli.get_int("sim-threads")));
+  }
+  ctx.profile_path = ctx.cli.get("profile");
+  if (ctx.profile_path.empty()) {
+    // Mirror ECLP_SIM_THREADS: the environment configures what the flag
+    // configures, so wrappers (ctest labels, CI scripts) need no argv edits.
+    const char* env = std::getenv("ECLP_PROFILE");
+    if (env != nullptr) ctx.profile_path = env;
   }
   std::cout << description << "  [scale=" << ctx.cli.get("scale")
             << ", runs=" << ctx.runs << "]\n\n";
@@ -159,6 +171,16 @@ void report_correlation(const std::string& label,
 
 sim::Device make_device(u64 seed, sim::ScheduleMode mode) {
   return sim::Device(sim::CostModel{}, seed, mode);
+}
+
+std::unique_ptr<profile::Session> maybe_session(
+    const BenchContext& ctx, sim::Device& dev,
+    profile::CounterRegistry* registry) {
+  if (ctx.profile_path.empty()) return nullptr;
+  auto session = std::make_unique<profile::Session>(dev, registry);
+  session->set_meta("bench", ctx.bench_name);
+  session->set_output(ctx.profile_path);
+  return session;
 }
 
 }  // namespace eclp::harness

@@ -15,11 +15,13 @@
 // corresponding correlation coefficient.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "gen/suite.hpp"
+#include "profile/session.hpp"
 #include "sim/device.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -32,6 +34,9 @@ struct BenchContext {
   int runs = 3;
   std::string bench_name;  ///< argv[0] basename, the JSON "bench" field
   std::string json_path;   ///< --json destination; empty = no JSON artifact
+  /// --profile destination (or $ECLP_PROFILE); empty = profiling off.
+  /// Consumed by maybe_session().
+  std::string profile_path;
   Cli cli;
   /// Tables seen by emit(); the JSON artifact is rewritten from this after
   /// every emit, so it is complete whenever the process exits.
@@ -61,5 +66,13 @@ void report_correlation(const std::string& label,
 sim::Device make_device(u64 seed = 0,
                         sim::ScheduleMode mode =
                             sim::ScheduleMode::kDeterministic);
+
+/// A profiling session attached to `dev` when the bench was invoked with
+/// --profile=<path> (or ECLP_PROFILE is set); nullptr otherwise. The
+/// session writes its profile + Perfetto artifacts when destroyed, so keep
+/// it alive across the run() calls it should cover.
+std::unique_ptr<profile::Session> maybe_session(
+    const BenchContext& ctx, sim::Device& dev,
+    profile::CounterRegistry* registry = nullptr);
 
 }  // namespace eclp::harness

@@ -42,6 +42,13 @@ class CounterRegistry {
 
   usize size() const { return counters_.size(); }
 
+  /// Visit every counter in name order (deterministic — std::map). Profile
+  /// sessions use this to snapshot totals at span boundaries.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+
   void reset_all() {
     for (auto& [name, c] : counters_) c->reset();
   }

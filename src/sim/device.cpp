@@ -32,6 +32,9 @@ KernelCost Device::finalize_cost(const LaunchConfig& cfg,
                                  std::span<const u64> thread_work,
                                  std::span<const u64> block_sync) {
   KernelCost kc;
+  const bool keep_block_times = observing();
+  block_cycles_.clear();
+  if (keep_block_times) block_cycles_.reserve(cfg.blocks);
   u64 block_time_total = 0;
   u64 max_block_time = 0;
   for (u32 b = 0; b < cfg.blocks; ++b) {
@@ -60,6 +63,7 @@ KernelCost Device::finalize_cost(const LaunchConfig& cfg,
         sync;
     block_time_total += block_time;
     max_block_time = std::max(max_block_time, block_time);
+    if (keep_block_times) block_cycles_.push_back(block_time);
   }
   kc.block_time = block_time_total;
   kc.max_block_time = max_block_time;
@@ -73,7 +77,7 @@ KernelCost Device::finalize_cost(const LaunchConfig& cfg,
 }
 
 void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
-  if (trace_ == nullptr) return;
+  if (!observing()) return;
   TraceEvent event;
   event.sequence = launches_;
   event.kernel = stats.name;
@@ -85,7 +89,10 @@ void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
   event.active_threads = stats.cost.active_threads;
   event.idle_threads = stats.cost.idle_threads;
   event.imbalance = stats.cost.imbalance();
-  trace_->record(std::move(event));
+  event.wall_ns = monotonic_ns() - launch_wall_start_;
+  event.block_cycles = block_cycles_;
+  if (observer_ != nullptr) observer_->on_launch(stats, event);
+  if (trace_ != nullptr) trace_->record(std::move(event));
 }
 
 void Device::host_op(u64 count) { total_cycles_ += cost_.host_op * count; }

@@ -55,6 +55,7 @@
 #include "sim/trace.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
+#include "support/timer.hpp"
 #include "support/types.hpp"
 
 namespace eclp::sim {
@@ -96,6 +97,18 @@ struct NoRoundHook {
 };
 
 class Device;
+
+/// Receives one callback per completed kernel launch, on the host thread,
+/// after all blocks have joined. This is how profile::Session turns
+/// launches into kernel spans without the Device depending on the profiling
+/// library. The TraceEvent carries the same payload a Trace would record,
+/// plus wall_ns and per-block modeled times (collected only while a trace
+/// or observer is attached, so detached runs pay nothing).
+class LaunchObserver {
+ public:
+  virtual ~LaunchObserver() = default;
+  virtual void on_launch(const KernelStats& stats, const TraceEvent& event) = 0;
+};
 
 /// Handle passed to kernel bodies; identifies the thread and provides
 /// instrumented operations that charge the cost model.
@@ -252,6 +265,7 @@ class Device {
     static_assert(std::is_invocable_v<Body&, ThreadCtx&>,
                   "kernel body must be callable as body(ThreadCtx&)");
     ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    begin_observation();
     const u64 atomics_before = atomics_.total();
     const u64 launch_index = launches_;
     work_.assign(cfg.total_threads(), 0);
@@ -314,6 +328,7 @@ class Device {
     static_assert(std::is_invocable_v<OnRoundEnd&, u64>,
                   "round hook must be callable as on_round_end(u64 round)");
     ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
 
@@ -363,6 +378,7 @@ class Device {
         std::is_invocable_r_v<bool, Step&, ThreadCtx&, u64>,
         "block-iterative step must be callable as bool step(ThreadCtx&, u64)");
     ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
 
@@ -425,6 +441,7 @@ class Device {
         std::is_invocable_r_v<bool, Commit&, u32, u64>,
         "block-jacobi commit must be callable as bool commit(u32 block, u64)");
     ECLP_CHECK(cfg.blocks > 0 && cfg.threads_per_block > 0);
+    begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
 
@@ -506,6 +523,13 @@ class Device {
   /// detach. Every subsequent launch appends one TraceEvent.
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Attach a launch observer (profile sessions). Not owned; pass nullptr
+  /// to detach. Called once per launch, on the host thread, after all
+  /// blocks have joined. Wall-clock and per-block times are only measured
+  /// while a trace or observer is attached.
+  void set_launch_observer(LaunchObserver* observer) { observer_ = observer; }
+  LaunchObserver* launch_observer() const { return observer_; }
+
   /// Number of threads the paper's per-thread tables are averaged over
   /// (196,608 on the RTX 4090 = sm_count * resident threads); for us it is
   /// whatever the launch used — exposed for symmetric reporting.
@@ -516,6 +540,14 @@ class Device {
                            std::span<const u64> thread_work,
                            std::span<const u64> block_sync);
   void record_trace(const KernelStats& stats, u64 atomics_before);
+
+  /// True when some launch consumer (trace or observer) is attached —
+  /// gates every observability-only cost (wall clocks, per-block times).
+  bool observing() const { return trace_ != nullptr || observer_ != nullptr; }
+  /// Stamp the launch's wall-clock start when observed; free otherwise.
+  void begin_observation() {
+    if (observing()) launch_wall_start_ = monotonic_ns();
+  }
 
   ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
                      AtomicStats* stats = nullptr) {
@@ -585,6 +617,11 @@ class Device {
   u64 total_cycles_ = 0;
   u64 launches_ = 0;
   Trace* trace_ = nullptr;
+  LaunchObserver* observer_ = nullptr;
+  u64 launch_wall_start_ = 0;
+  // Per-block modeled times of the launch currently finalizing; collected
+  // only while observing. Capacity reused across launches.
+  std::vector<u64> block_cycles_;
   Pool* pool_ = nullptr;
   // Work accumulator of the launch currently executing; capacity is reused
   // across launches (assign, not reconstruct).

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "support/timer.hpp"
+
 namespace eclp::sim {
 
 namespace {
@@ -22,7 +24,10 @@ u32 clamp_workers(u32 n) {
 
 }  // namespace
 
-Pool::Pool(u32 workers) : workers_(clamp_workers(workers)), chunks_(workers_) {
+Pool::Pool(u32 workers)
+    : workers_(clamp_workers(workers)),
+      chunks_(workers_),
+      samples_(workers_) {
   threads_.reserve(workers_ - 1);
   for (u32 slot = 1; slot < workers_; ++slot) {
     threads_.emplace_back([this, slot] { worker_main(slot); });
@@ -107,6 +112,9 @@ void Pool::worker_main(u32 slot) {
 }
 
 void Pool::drain(u32 slot, const std::function<void(u64, u32)>& fn) {
+  const bool sample = sampling_.load(std::memory_order_relaxed);
+  const u64 t0 = sample ? monotonic_ns() : 0;
+  u64 executed = 0;
   u64 task;
   while (claim(slot, task)) {
     try {
@@ -114,6 +122,13 @@ void Pool::drain(u32 slot, const std::function<void(u64, u32)>& fn) {
     } catch (...) {
       record_failure(task);
     }
+    ++executed;
+  }
+  if (sample) {
+    SampleSlot& s = samples_[slot];
+    s.busy_ns += monotonic_ns() - t0;
+    s.drains += 1;
+    s.tasks += executed;
   }
 }
 
@@ -172,6 +187,21 @@ bool Pool::claim(u32 slot, u64& task) {
     task = mid;
     return true;
   }
+}
+
+std::vector<Pool::WorkerSample> Pool::worker_samples() const {
+  std::vector<WorkerSample> out(workers_);
+  for (u32 w = 0; w < workers_; ++w) {
+    out[w].worker = w;
+    out[w].busy_ns = samples_[w].busy_ns;
+    out[w].drains = samples_[w].drains;
+    out[w].tasks = samples_[w].tasks;
+  }
+  return out;
+}
+
+void Pool::reset_worker_samples() {
+  for (SampleSlot& s : samples_) s = SampleSlot{};
 }
 
 void Pool::record_failure(u64 task) {

@@ -49,6 +49,31 @@ class Pool {
   /// execution on the calling worker.
   void run(u64 tasks, const std::function<void(u64 task, u32 worker)>& fn);
 
+  // --- worker sampling -------------------------------------------------------
+  /// Per-worker participation accounting, accumulated across run() calls
+  /// while sampling is enabled. busy_ns is the wall-clock a worker spent
+  /// draining (claiming, stealing, executing); utilization is busy_ns over
+  /// the sampling window measured by the consumer (profile::Session).
+  struct WorkerSample {
+    u32 worker = 0;
+    u64 busy_ns = 0;  ///< wall-clock spent inside drain()
+    u64 drains = 0;   ///< launches this worker participated in
+    u64 tasks = 0;    ///< blocks this worker executed
+  };
+
+  /// Enable/disable per-drain wall-clock sampling. Off by default: an
+  /// unobserved run() takes zero clock reads. Toggled by profile sessions
+  /// around their measurement window.
+  void set_sampling(bool on) {
+    sampling_.store(on, std::memory_order_relaxed);
+  }
+  bool sampling() const { return sampling_.load(std::memory_order_relaxed); }
+  /// Snapshot of every worker's accumulated sample. Call only while no
+  /// run() is in flight (the simulator joins every launch before returning,
+  /// so any point between launches is safe).
+  std::vector<WorkerSample> worker_samples() const;
+  void reset_worker_samples();
+
  private:
   struct alignas(64) Chunk {
     // Owned range [next, end). `next` advances from the front (owner and
@@ -71,6 +96,17 @@ class Pool {
   u32 workers_ = 1;
   std::vector<std::thread> threads_;
   std::vector<Chunk> chunks_;
+
+  // Each slot is written only by its own worker inside drain(); reads
+  // happen from the host between launches, so plain fields suffice (same
+  // discipline as the sharded profiling counters).
+  struct alignas(64) SampleSlot {
+    u64 busy_ns = 0;
+    u64 drains = 0;
+    u64 tasks = 0;
+  };
+  std::vector<SampleSlot> samples_;
+  std::atomic<bool> sampling_{false};
 
   // Job hand-off: generation bumps wake the workers; `active_` counts
   // workers still draining the current job.

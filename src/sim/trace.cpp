@@ -51,6 +51,10 @@ Table Trace::load_balance(const std::string& title) const {
   for (const auto& e : events_) {
     auto& agg = by_kernel[e.kernel];
     agg.launches++;
+    // Defined values for degenerate launches: an all-idle launch counts as
+    // 0% active and imbalance 1.0 (trivially balanced), and a manually
+    // recorded event with no thread accounting at all (active == idle == 0)
+    // contributes 0% rather than dividing by zero.
     const u32 total = e.active_threads + e.idle_threads;
     agg.active_sum += total ? static_cast<double>(e.active_threads) /
                                   static_cast<double>(total)

@@ -27,7 +27,19 @@ struct TraceEvent {
   // The paper's §3.1 general metrics of this launch:
   u32 active_threads = 0;
   u32 idle_threads = 0;
-  double imbalance = 1.0;  ///< max thread work / mean active thread work
+  /// Load imbalance: max thread work / mean active thread work. An all-idle
+  /// launch (active_threads == 0) is trivially balanced and reports exactly
+  /// 1.0 — never a division by zero (KernelCost::imbalance guards it).
+  double imbalance = 1.0;
+  /// Real simulator wall-clock of the launch, in nanoseconds. Only measured
+  /// while a trace or launch observer is attached (0 otherwise), and
+  /// deliberately excluded from to_csv() so timeline CSVs stay byte-stable
+  /// across machines and sim-thread counts.
+  u64 wall_ns = 0;
+  /// Modeled time of each block (block_overhead + compute + sync). Only
+  /// collected while an observer/trace is attached — profile sessions use
+  /// it to draw per-block Perfetto tracks. Excluded from to_csv().
+  std::vector<u64> block_cycles;
 };
 
 class Trace {

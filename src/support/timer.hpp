@@ -5,6 +5,8 @@
 
 #include <chrono>
 
+#include "support/types.hpp"
+
 namespace eclp {
 
 class Timer {
@@ -21,5 +23,15 @@ class Timer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Monotonic nanoseconds since an arbitrary epoch — the raw reading behind
+/// Timer, exposed for components that need to difference timestamps taken
+/// at different call sites (launch observers, pool worker sampling).
+inline u64 monotonic_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace eclp

@@ -1,0 +1,65 @@
+# Profile smoke check, run as `cmake -P` by the profile-smoke ctest label.
+#
+# Inputs (all -D): ECLP_RUN, ECLP_PROFILE_DIFF (tool paths), ALGO, INPUT
+# (suite input name), WORK_DIR (scratch directory, recreated every run).
+#
+# Steps:
+#  1. eclp-run --algo=$ALGO --input=$INPUT --scale=tiny --profile=a.json
+#     — must succeed and must write both artifacts (profile + Perfetto);
+#  2. eclp-profile-diff --check a.json — schema validation;
+#  3. a second identical run into b.json, driven through the ECLP_PROFILE
+#     environment variable instead of the flag (covers the env plumbing);
+#  4. eclp-profile-diff a.json b.json — the self-diff must report zero
+#     regressions (everything gated is modeled, hence bit-stable).
+foreach(var ECLP_RUN ECLP_PROFILE_DIFF ALGO INPUT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "profile_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(profile_a "${WORK_DIR}/a.json")
+set(profile_b "${WORK_DIR}/b.json")
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=${ALGO} --input=${INPUT} --scale=tiny
+          --profile=${profile_a}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "eclp-run --profile failed (${rc}):\n${out}\n${err}")
+endif()
+
+foreach(artifact "${profile_a}" "${WORK_DIR}/a.trace.json")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "profiled run did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${ECLP_PROFILE_DIFF}" --check=${profile_a}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ECLP_PROFILE=${profile_b}
+          "${ECLP_RUN}" --algo=${ALGO} --input=${INPUT} --scale=tiny
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "eclp-run under ECLP_PROFILE failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${profile_b}")
+  message(FATAL_ERROR "ECLP_PROFILE run did not write ${profile_b}")
+endif()
+
+execute_process(
+  COMMAND "${ECLP_PROFILE_DIFF}" "${profile_a}" "${profile_b}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "self-diff reported regressions (${rc}):\n${out}\n${err}")
+endif()
+
+message(STATUS "profile smoke ${ALGO}/${INPUT}: ok")

@@ -261,6 +261,40 @@ TEST(BlockIterative, RunawayInnerLoopIsCaught) {
                CheckFailure);
 }
 
+// --- degenerate launches ---------------------------------------------------------
+
+TEST(Trace, AllIdleLaunchReportsUnitImbalance) {
+  // A launch where no thread does any work (every body is a no-op) has
+  // active_threads == 0. The defined semantics: such a launch is trivially
+  // balanced — imbalance is exactly 1.0, never a division by zero — and it
+  // contributes 0% active threads to load_balance().
+  Device dev;
+  Trace trace;
+  dev.set_trace(&trace);
+  dev.launch("noop", {2, 32}, [](ThreadCtx&) {});
+  ASSERT_EQ(trace.size(), 1u);
+  const TraceEvent& e = trace.events()[0];
+  EXPECT_EQ(e.active_threads, 0u);
+  EXPECT_EQ(e.idle_threads, 64u);
+  EXPECT_EQ(e.imbalance, 1.0);
+  // The aggregates render without NaNs or infinities.
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("noop,2,32"), std::string::npos);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+  const std::string lb = trace.load_balance().to_text();
+  EXPECT_EQ(lb.find("nan"), std::string::npos);
+  EXPECT_EQ(lb.find("inf"), std::string::npos);
+}
+
+TEST(Cost, AllIdleImbalanceIsExactlyOne) {
+  KernelCost kc;
+  kc.active_threads = 0;
+  kc.thread_work = 0;
+  kc.max_thread_work = 0;
+  EXPECT_EQ(kc.imbalance(), 1.0);
+}
+
 TEST(BlockIterative, PerBlockIterationCountsIndependent) {
   Device dev;
   // Block 0 stops after its first sweep reports no update; block 1 updates

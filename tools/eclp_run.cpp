@@ -7,7 +7,14 @@
 //
 // Either --graph=<file> (any supported extension) or --input=<suite name>
 // selects the graph. Undirected algorithms symmetrize directed files.
+//
+// --profile=<path> (or ECLP_PROFILE) records a profiling session: a
+// versioned eclp.profile JSON at <path> (gate two runs against each other
+// with eclp-profile-diff) plus a Perfetto-loadable <path minus
+// .json>.trace.json. See docs/OBSERVABILITY.md.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "algos/cc/ecl_cc.hpp"
 #include "algos/gc/ecl_gc.hpp"
@@ -17,6 +24,7 @@
 #include "gen/suite.hpp"
 #include "graph/io.hpp"
 #include "graph/transforms.hpp"
+#include "profile/session.hpp"
 #include "sim/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
@@ -60,6 +68,10 @@ int main(int argc, char** argv) {
                  "host worker threads for block-parallel simulation "
                  "(0 = one per hardware thread; overrides ECLP_SIM_THREADS)",
                  "");
+  cli.add_option("profile",
+                 "write a profiling session (eclp.profile JSON + Perfetto "
+                 ".trace.json) to this path; overrides ECLP_PROFILE",
+                 "");
   cli.add_flag("verify", "check the result against the sequential reference");
   cli.add_flag("timeline", "print the kernel launch timeline");
   cli.add_flag("help", "show usage");
@@ -79,6 +91,23 @@ int main(int argc, char** argv) {
                             : sim::ScheduleMode::kShuffled);
   sim::Trace trace;
   if (cli.get_flag("timeline")) dev.set_trace(&trace);
+
+  std::string profile_path = cli.get("profile");
+  if (profile_path.empty()) {
+    const char* env = std::getenv("ECLP_PROFILE");
+    if (env != nullptr) profile_path = env;
+  }
+  std::unique_ptr<profile::Session> session;
+  if (!profile_path.empty()) {
+    session = std::make_unique<profile::Session>(dev);
+    session->set_meta("tool", "eclp-run");
+    session->set_meta("algo", algo);
+    session->set_meta("seed", cli.get("seed"));
+    session->set_meta("graph", !cli.get("graph").empty()
+                                   ? cli.get("graph")
+                                   : cli.get("input"));
+    session->set_output(profile_path);
+  }
 
   Timer wall;
   if (algo == "cc") {
@@ -173,6 +202,11 @@ int main(int argc, char** argv) {
   if (cli.get_flag("timeline")) {
     std::printf("\n%s", trace.summary().to_text().c_str());
     std::printf("\n%s", trace.load_balance().to_text().c_str());
+  }
+  if (session != nullptr) {
+    session.reset();  // finalize + write both artifacts
+    std::printf("profile: %s (+ %s)\n", profile_path.c_str(),
+                profile::Session::trace_path_for(profile_path).c_str());
   }
   std::printf("atomics: %llu total, CAS failure rate %.1f%%\n",
               static_cast<unsigned long long>(dev.atomic_stats().total()),
