@@ -1,7 +1,10 @@
 #include "gen/suite.hpp"
 
+#include <utility>
+
 #include "gen/generators.hpp"
 #include "gen/meshes.hpp"
+#include "graph/cache.hpp"
 #include "graph/transforms.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
@@ -13,6 +16,32 @@ namespace {
 // Deterministic per-input seeds; distinct per input so the suite is not
 // accidentally correlated.
 constexpr u64 kSuiteSeed = 0xec1900df11e00001ULL;
+
+// Version tag mixed into every suite cache key. The generator parameters
+// live in the make_* lambdas below, so the key cannot hash them directly;
+// instead (name, scale, kSuiteSeed, this version) addresses the content.
+// BUMP THIS whenever a generator or a suite entry's parameters change, or
+// stale cache directories will keep serving the old graphs.
+constexpr u64 kSuiteCacheVersion = 1;
+
+/// Wrap every entry's generator in the content-addressed graph cache
+/// (graph/cache.hpp): when ECLP_GRAPH_CACHE / --graph-cache names a
+/// directory, the first make() stores the finished CSR as .eclg and every
+/// later run — any process — deserializes it instead of regenerating and
+/// rebuilding. Disabled cache = straight call; no behavior change.
+void memoize_suite(std::vector<InputSpec>& specs) {
+  for (InputSpec& spec : specs) {
+    auto generate = std::move(spec.make);
+    const std::string name = spec.name;
+    spec.make = [name, generate](Scale s) {
+      if (graph::cache_dir().empty()) return generate(s);
+      graph::CacheKey key;
+      key.mix("eclp-suite").mix_u64(kSuiteCacheVersion).mix(name)
+          .mix_u64(static_cast<u64>(s)).mix_u64(kSuiteSeed);
+      return graph::cache_or_build(key, [&] { return generate(s); });
+    };
+  }
+}
 
 u64 seed_for(const char* name) {
   u64 h = kSuiteSeed;
@@ -256,12 +285,20 @@ Scale parse_scale(const std::string& s) {
 }
 
 const std::vector<InputSpec>& general_inputs() {
-  static const std::vector<InputSpec> inputs = make_general();
+  static const std::vector<InputSpec> inputs = [] {
+    auto v = make_general();
+    memoize_suite(v);
+    return v;
+  }();
   return inputs;
 }
 
 const std::vector<InputSpec>& mesh_inputs() {
-  static const std::vector<InputSpec> inputs = make_meshes();
+  static const std::vector<InputSpec> inputs = [] {
+    auto v = make_meshes();
+    memoize_suite(v);
+    return v;
+  }();
   return inputs;
 }
 

@@ -34,6 +34,10 @@ struct InputSpec {
   std::string name;       ///< the paper's input name (e.g. "europe_osm")
   PaperRow paper;         ///< Table 1 values for the original file
   bool directed = false;  ///< true for the SCC meshes
+  /// Generate the stand-in at the given scale. Memoized through the
+  /// content-addressed graph cache (graph/cache.hpp) when a cache
+  /// directory is configured: repeat runs deserialize the finished CSR
+  /// instead of regenerating and rebuilding it.
   std::function<graph::Csr(Scale)> make;
 };
 

@@ -4,8 +4,18 @@
 // handles symmetrization, deduplication, self-loop removal, and adjacency
 // sorting. Sorted adjacency matters to the algorithms: ECL-CC's init
 // heuristic relies on the smallest neighbor appearing first (paper §6.1.3).
+//
+// Assembly is host-parallel: above a size threshold, build() replaces the
+// global O(E log E) sort with a three-phase pipeline on the build pool
+// (histogram → prefix-sum → stable scatter, then per-adjacency sort; see
+// docs/INGEST.md). The output is bit-identical to the serial path at any
+// thread count — the sorted adjacency the algorithms rely on is preserved
+// exactly, and tests/ingest_test.cpp pins the byte identity for the whole
+// input suite. Thread count: ECLP_BUILD_THREADS / eclp::set_build_threads
+// (support/parallel_for.hpp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -40,6 +50,10 @@ class Builder {
   /// Add one arc (or one undirected edge — mirroring happens in build()).
   void add(vidx src, vidx dst, weight_t w = 0);
 
+  /// Bulk append (range-checked). The chunk-parallel readers hand their
+  /// per-chunk buffers over in chunk order through this.
+  void add_edges(std::span<const Edge> edges);
+
   void reserve(usize edges) { edges_.reserve(edges); }
 
   /// Assemble the CSR. The builder is left empty afterwards.
@@ -53,5 +67,12 @@ class Builder {
 /// Convenience: build an undirected unweighted graph from an edge list.
 Csr from_edges(vidx num_vertices, const std::vector<Edge>& edges,
                const BuildOptions& opt = {});
+
+/// Minimum post-mirror edge count before build() switches from the serial
+/// sort to the parallel pipeline (the pool barriers do not pay for
+/// themselves on tiny inputs). 0 restores the default. Exposed so the
+/// equivalence tests can force the parallel path onto tiny suite graphs.
+void set_parallel_build_min_edges(usize min_edges);
+usize parallel_build_min_edges();
 
 }  // namespace eclp::graph

@@ -1,0 +1,161 @@
+#include "graph/cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "graph/io.hpp"
+
+namespace eclp::graph {
+
+namespace {
+
+std::mutex g_mutex;
+bool g_dir_initialized = false;
+std::string g_dir;
+CacheStats g_stats;
+std::atomic<bool> g_warned{false};
+
+std::string cache_dir_locked() {
+  if (!g_dir_initialized) {
+    g_dir_initialized = true;
+    const char* env = std::getenv("ECLP_GRAPH_CACHE");
+    g_dir = env == nullptr ? "" : env;
+  }
+  return g_dir;
+}
+
+/// The cache degrades to a rebuild on any I/O problem; say so exactly once
+/// per process so a broken cache directory does not flood stderr.
+void warn_once(const std::string& what) {
+  if (!g_warned.exchange(true)) {
+    std::fprintf(stderr, "eclp: graph cache: %s (falling back to rebuild)\n",
+                 what.c_str());
+  }
+}
+
+std::filesystem::path entry_path(const std::string& dir, const CacheKey& key) {
+  return std::filesystem::path(dir) / (key.hex() + ".eclg");
+}
+
+}  // namespace
+
+CacheKey& CacheKey::mix(std::string_view bytes) {
+  mix_u64(bytes.size());
+  for (const char c : bytes) {
+    const u64 b = static_cast<u8>(c);
+    lo_ = (lo_ ^ b) * 0x100000001b3ULL;          // FNV-1a
+    hi_ = (hi_ ^ (b + 0x9e3779b97f4a7c15ULL));   // xor-multiply lane
+    hi_ *= 0xff51afd7ed558ccdULL;
+    hi_ ^= hi_ >> 33;
+  }
+  return *this;
+}
+
+CacheKey& CacheKey::mix_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    const u64 b = (v >> (8 * i)) & 0xff;
+    lo_ = (lo_ ^ b) * 0x100000001b3ULL;
+    hi_ = (hi_ ^ (b + 0x9e3779b97f4a7c15ULL));
+    hi_ *= 0xff51afd7ed558ccdULL;
+    hi_ ^= hi_ >> 33;
+  }
+  return *this;
+}
+
+std::string CacheKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(lo_),
+                static_cast<unsigned long long>(hi_));
+  return buf;
+}
+
+std::string cache_dir() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return cache_dir_locked();
+}
+
+void set_cache_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_dir_initialized = true;
+  g_dir = dir;
+}
+
+CacheStats cache_stats() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return g_stats;
+}
+
+void reset_cache_stats() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_stats = CacheStats{};
+}
+
+std::optional<Csr> cache_load(const CacheKey& key) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return std::nullopt;
+  const auto path = entry_path(dir, key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_stats.misses++;
+    return std::nullopt;
+  }
+  try {
+    Csr g = load_binary(path.string());
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_stats.hits++;
+    return g;
+  } catch (const std::exception& e) {
+    warn_once("corrupt entry " + path.string() + ": " + e.what());
+    std::filesystem::remove(path, ec);  // drop it so the rebuild re-stores
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_stats.corrupt++;
+    return std::nullopt;
+  }
+}
+
+void cache_store(const CacheKey& key, const Csr& g) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return;
+  const auto path = entry_path(dir, key);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    warn_once("cannot create " + dir + ": " + ec.message());
+    return;
+  }
+  // Unique temp name per process: a concurrent writer racing on the same
+  // key at worst renames last; both wrote identical bytes for the key.
+  const auto tmp = path.string() + ".tmp." +
+                   std::to_string(static_cast<unsigned long>(::getpid()));
+  try {
+    save_binary(g, tmp);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      warn_once("cannot rename " + tmp + ": " + ec.message());
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  } catch (const std::exception& e) {
+    warn_once(std::string("cannot write entry: ") + e.what());
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_stats.stores++;
+}
+
+Csr cache_or_build(const CacheKey& key, const std::function<Csr()>& build) {
+  if (auto cached = cache_load(key)) return std::move(*cached);
+  Csr g = build();
+  cache_store(key, g);
+  return g;
+}
+
+}  // namespace eclp::graph

@@ -1,0 +1,76 @@
+// Content-addressed graph cache.
+//
+// Building a CSR is the dominant fixed cost of every bench/harness run:
+// generators re-synthesize their edge lists, text readers re-parse their
+// files, and Builder::build re-sorts millions of edges — all to arrive at
+// the same bytes as the previous run. The cache memoizes the *finished*
+// CSR: each graph is keyed by a hash of everything that determines its
+// content (generator name + scale + seed for suite inputs; file bytes +
+// format + build options for file loads — see docs/INGEST.md for the key
+// scheme), and the built graph is stored as a .eclg binary under the cache
+// directory. A later request with the same key deserializes the CSR
+// directly, skipping generation, parsing, and assembly entirely.
+//
+// The cache is opt-in: it is enabled by pointing ECLP_GRAPH_CACHE (or the
+// --graph-cache flag of the tools/benches) at a directory, and disabled
+// when that is empty. Corrupt or truncated cache entries are never fatal —
+// the loader warns once, drops the entry, and rebuilds.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/csr.hpp"
+
+namespace eclp::graph {
+
+/// Accumulates a 128-bit content hash from labeled fields. Field lengths
+/// are mixed in before the bytes, so adjacent fields cannot alias
+/// ("ab"+"c" vs "a"+"bc"). Not cryptographic — the cache is a local
+/// memoization directory, not a trust boundary.
+class CacheKey {
+ public:
+  CacheKey& mix(std::string_view bytes);
+  CacheKey& mix_u64(u64 v);
+  /// 32 lowercase hex characters; the cache file is <hex>.eclg.
+  std::string hex() const;
+
+ private:
+  u64 lo_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  u64 hi_ = 0x9e3779b97f4a7c15ULL;  // independent lane, different basis
+};
+
+/// Directory the cache lives in; empty = caching disabled. The first call
+/// reads the ECLP_GRAPH_CACHE environment variable; set_cache_dir
+/// overrides it (empty string disables).
+std::string cache_dir();
+void set_cache_dir(const std::string& dir);
+
+/// Counters for tests and the ingest bench. Process-wide, reset on demand.
+struct CacheStats {
+  u64 hits = 0;     ///< cache file existed and deserialized cleanly
+  u64 misses = 0;   ///< no cache file for the key
+  u64 stores = 0;   ///< graphs written into the cache
+  u64 corrupt = 0;  ///< unreadable entries dropped (each triggers a rebuild)
+};
+CacheStats cache_stats();
+void reset_cache_stats();
+
+/// Load the CSR cached under `key`, or nullopt when caching is disabled,
+/// the entry is missing, or it fails to deserialize (corruption warns once
+/// per process and drops the entry; the caller rebuilds).
+std::optional<Csr> cache_load(const CacheKey& key);
+
+/// Store `g` under `key` (no-op when caching is disabled). Writes to a
+/// temporary file and renames, so concurrent processes sharing a cache
+/// directory never observe a half-written entry. I/O failures warn once
+/// and are otherwise ignored — the cache is an accelerator, not a store
+/// of record.
+void cache_store(const CacheKey& key, const Csr& g);
+
+/// cache_load(key), falling back to build() + cache_store on a miss.
+Csr cache_or_build(const CacheKey& key, const std::function<Csr()>& build);
+
+}  // namespace eclp::graph

@@ -1,36 +1,56 @@
 #include "graph/dimacs.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "graph/builder.hpp"
+#include "graph/text_parse.hpp"
+#include "support/parallel_for.hpp"
 
 namespace eclp::graph {
 
 namespace {
 
 struct Header {
-  std::string kind;
   u64 vertices = 0;
   u64 edges = 0;
 };
 
-/// Skip "c" comment lines and parse the "p <kind> n m" line.
-Header read_header(std::istream& is, const std::string& expected_kind) {
-  std::string line;
-  while (std::getline(is, line)) {
+std::string slurp(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+/// Consume one line off the front of `text` (no '\n', no trailing '\r').
+std::string_view next_line(std::string_view& text) {
+  const usize nl = text.find('\n');
+  std::string_view line = text.substr(0, nl);
+  text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+/// Skip "c" comment lines and parse the "p <kind> n m" line; `text` is
+/// left pointing at the first body line.
+Header read_header(std::string_view& text, const std::string& expected_kind) {
+  while (!text.empty()) {
+    std::string_view line = next_line(text);
     if (line.empty() || line[0] == 'c') continue;
     ECLP_CHECK_MSG(line[0] == 'p', "dimacs: expected 'p' line, got: " << line);
-    std::istringstream ls(line);
+    std::istringstream ls{std::string(line)};
     char p = 0;
+    std::string kind;
     Header h;
-    ls >> p >> h.kind >> h.vertices >> h.edges;
+    ls >> p >> kind >> h.vertices >> h.edges;
     ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs: malformed 'p' line");
-    ECLP_CHECK_MSG(h.kind == expected_kind,
+    ECLP_CHECK_MSG(kind == expected_kind,
                    "dimacs: expected 'p " << expected_kind << "', got 'p "
-                                          << h.kind << "'");
+                                          << kind << "'");
     ECLP_CHECK_MSG(h.vertices < kNoVertex, "dimacs: too many vertices");
     return h;
   }
@@ -38,35 +58,65 @@ Header read_header(std::istream& is, const std::string& expected_kind) {
   return {};
 }
 
+/// Chunk-parallel sweep over the body lines: every line must be a comment,
+/// blank, or start with `tag`; fn parses the payload after the tag into the
+/// chunk's private edge buffer. Buffers come back in chunk order, so the
+/// concatenation equals a serial sweep (docs/INGEST.md).
+template <typename ParseLine>
+std::vector<std::vector<Edge>> parse_body(std::string_view body, char tag,
+                                          const char* what,
+                                          ParseLine&& parse_line) {
+  Pool* pool = build_pool();
+  const auto chunks =
+      detail::chunk_at_lines(body, pool == nullptr ? 1 : pool->size());
+  std::vector<std::vector<Edge>> chunk_edges(chunks.size());
+  parallel_for_chunks(
+      pool, chunks.size(), chunks.size(), [&](u64 c, u64, u64, u32) {
+        std::vector<Edge>& out = chunk_edges[c];
+        out.reserve(chunks[c].size() / 8 + 1);
+        detail::for_each_line(chunks[c], [&](std::string_view line) {
+          if (line.empty() || line[0] == 'c') return;
+          ECLP_CHECK_MSG(line[0] == tag, "dimacs " << what << ": expected '"
+                                                   << tag
+                                                   << "' line: " << line);
+          parse_line(line.substr(1), line, out);
+        });
+      });
+  return chunk_edges;
+}
+
 }  // namespace
 
-Csr read_dimacs_sp(std::istream& is, bool symmetrize) {
-  const Header h = read_header(is, "sp");
-  Builder b(static_cast<vidx>(h.vertices));
-  b.reserve(h.edges);
-  std::string line;
+Csr parse_dimacs_sp(std::string_view text, bool symmetrize) {
+  const Header h = read_header(text, "sp");
+  const auto chunk_edges = parse_body(
+      text, 'a', "sp",
+      [&](std::string_view s, std::string_view line, std::vector<Edge>& out) {
+        u64 u = 0, v = 0, w = 0;
+        ECLP_CHECK_MSG(detail::parse_u64(s, u) && detail::parse_u64(s, v) &&
+                           detail::parse_u64(s, w),
+                       "dimacs sp: malformed arc: " << line);
+        ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
+                       "dimacs sp: arc endpoint out of range: " << line);
+        out.push_back({static_cast<vidx>(u - 1), static_cast<vidx>(v - 1),
+                       static_cast<weight_t>(w)});
+      });
   u64 arcs = 0;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == 'c') continue;
-    ECLP_CHECK_MSG(line[0] == 'a', "dimacs sp: expected 'a' line: " << line);
-    std::istringstream ls(line);
-    char a = 0;
-    u64 u = 0, v = 0, w = 0;
-    ls >> a >> u >> v >> w;
-    ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs sp: malformed arc: " << line);
-    ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
-                   "dimacs sp: arc endpoint out of range: " << line);
-    b.add(static_cast<vidx>(u - 1), static_cast<vidx>(v - 1),
-          static_cast<weight_t>(w));
-    ++arcs;
-  }
+  for (const auto& ce : chunk_edges) arcs += ce.size();
   ECLP_CHECK_MSG(arcs == h.edges, "dimacs sp: header promised "
                                       << h.edges << " arcs, file had "
                                       << arcs);
+  Builder b(static_cast<vidx>(h.vertices));
+  b.reserve(arcs);
+  for (const auto& ce : chunk_edges) b.add_edges(ce);
   BuildOptions opt;
   opt.directed = !symmetrize;
   opt.weighted = true;
   return b.build(opt);
+}
+
+Csr read_dimacs_sp(std::istream& is, bool symmetrize) {
+  return parse_dimacs_sp(slurp(is), symmetrize);
 }
 
 void write_dimacs_sp(const Csr& g, std::ostream& os) {
@@ -83,30 +133,31 @@ void write_dimacs_sp(const Csr& g, std::ostream& os) {
   ECLP_CHECK_MSG(os.good(), "dimacs sp: write failed");
 }
 
-Csr read_dimacs_col(std::istream& is) {
-  const Header h = read_header(is, "edge");
-  Builder b(static_cast<vidx>(h.vertices));
-  b.reserve(h.edges);
-  std::string line;
+Csr parse_dimacs_col(std::string_view text) {
+  const Header h = read_header(text, "edge");
+  const auto chunk_edges = parse_body(
+      text, 'e', "col",
+      [&](std::string_view s, std::string_view line, std::vector<Edge>& out) {
+        u64 u = 0, v = 0;
+        ECLP_CHECK_MSG(detail::parse_u64(s, u) && detail::parse_u64(s, v),
+                       "dimacs col: malformed edge: " << line);
+        ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
+                       "dimacs col: endpoint out of range: " << line);
+        out.push_back({static_cast<vidx>(u - 1), static_cast<vidx>(v - 1), 0});
+      });
   u64 edges = 0;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == 'c') continue;
-    ECLP_CHECK_MSG(line[0] == 'e', "dimacs col: expected 'e' line: " << line);
-    std::istringstream ls(line);
-    char e = 0;
-    u64 u = 0, v = 0;
-    ls >> e >> u >> v;
-    ECLP_CHECK_MSG(static_cast<bool>(ls), "dimacs col: malformed edge: "
-                                              << line);
-    ECLP_CHECK_MSG(u >= 1 && u <= h.vertices && v >= 1 && v <= h.vertices,
-                   "dimacs col: endpoint out of range: " << line);
-    b.add(static_cast<vidx>(u - 1), static_cast<vidx>(v - 1));
-    ++edges;
-  }
+  for (const auto& ce : chunk_edges) edges += ce.size();
   ECLP_CHECK_MSG(edges == h.edges, "dimacs col: header promised "
                                        << h.edges << " edges, file had "
                                        << edges);
+  Builder b(static_cast<vidx>(h.vertices));
+  b.reserve(edges);
+  for (const auto& ce : chunk_edges) b.add_edges(ce);
   return b.build();
+}
+
+Csr read_dimacs_col(std::istream& is) {
+  return parse_dimacs_col(slurp(is));
 }
 
 void write_dimacs_col(const Csr& g, std::ostream& os) {

@@ -6,9 +6,14 @@
 //    paper's USA-road-d.* inputs ship in;
 //  * the DIMACS clique/coloring format (".col": "p edge n m" header,
 //    "e u v" edge lines, 1-based), read as an undirected graph.
+//
+// Reading is chunk-parallel on the build pool (byte ranges split at line
+// boundaries, per-chunk edge buffers merged in chunk order — see
+// docs/INGEST.md); the parsed graph is identical at any thread count.
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 
 #include "graph/csr.hpp"
 
@@ -17,10 +22,12 @@ namespace eclp::graph {
 /// Read a ".gr" shortest-path file. Arcs keep their direction unless
 /// `symmetrize` is set (road networks list both directions already).
 Csr read_dimacs_sp(std::istream& is, bool symmetrize = false);
+Csr parse_dimacs_sp(std::string_view text, bool symmetrize = false);
 void write_dimacs_sp(const Csr& g, std::ostream& os);
 
 /// Read a ".col" edge-format file (always undirected, unweighted).
 Csr read_dimacs_col(std::istream& is);
+Csr parse_dimacs_col(std::string_view text);
 void write_dimacs_col(const Csr& g, std::ostream& os);
 
 }  // namespace eclp::graph

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "graph/cache.hpp"
 #include "graph/dimacs.hpp"
+#include "graph/text_parse.hpp"
+#include "support/parallel_for.hpp"
 
 namespace eclp::graph {
 
@@ -47,6 +50,27 @@ std::vector<T> read_vec(std::istream& is) {
           static_cast<std::streamsize>(n * sizeof(T)));
   ECLP_CHECK_MSG(is.good(), "binary graph: truncated array");
   return v;
+}
+
+std::string slurp(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ECLP_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return slurp(is);
+}
+
+/// Consume one line off the front of `text` (no '\n' in the result).
+std::string_view next_line(std::string_view& text) {
+  const usize nl = text.find('\n');
+  std::string_view line = text.substr(0, nl);
+  text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
 }
 
 }  // namespace
@@ -115,10 +139,13 @@ void write_matrix_market(const Csr& g, std::ostream& os) {
   ECLP_CHECK_MSG(os.good(), "matrix market: write failed");
 }
 
-Csr read_matrix_market(std::istream& is) {
-  std::string line;
-  ECLP_CHECK_MSG(std::getline(is, line), "matrix market: empty stream");
-  std::istringstream head(line);
+Csr parse_matrix_market(std::string_view text) {
+  using detail::parse_f64;
+  using detail::parse_u64;
+
+  std::string_view rest = text;
+  ECLP_CHECK_MSG(!rest.empty(), "matrix market: empty stream");
+  std::istringstream head{std::string(next_line(rest))};
   std::string banner, object, format, field, symmetry;
   head >> banner >> object >> format >> field >> symmetry;
   ECLP_CHECK_MSG(banner == "%%MatrixMarket", "matrix market: bad banner");
@@ -131,61 +158,124 @@ Csr read_matrix_market(std::istream& is) {
   ECLP_CHECK_MSG(symmetric || symmetry == "general",
                  "matrix market: unsupported symmetry " << symmetry);
 
-  // Skip comments, then read the size line.
-  while (std::getline(is, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
-  std::istringstream size_line(line);
+  // Skip comments, then read the size line. Everything after it is the
+  // entry body, handed to the chunk-parallel sweep below.
   u64 rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
+  bool saw_size = false;
+  while (!rest.empty()) {
+    std::string_view line = next_line(rest);
+    if (line.empty() || line[0] == '%') continue;
+    ECLP_CHECK_MSG(parse_u64(line, rows) && parse_u64(line, cols) &&
+                       parse_u64(line, entries),
+                   "matrix market: malformed size line");
+    saw_size = true;
+    break;
+  }
+  ECLP_CHECK_MSG(saw_size, "matrix market: missing size line");
   ECLP_CHECK_MSG(rows == cols, "matrix market: matrix must be square");
   ECLP_CHECK_MSG(rows < kNoVertex, "matrix market: too many vertices");
 
+  // Chunk-parallel entry parse: byte ranges split at line boundaries, one
+  // private edge buffer per chunk, buffers appended in chunk order — the
+  // merged sequence equals a serial line-by-line sweep (docs/INGEST.md).
+  Pool* pool = build_pool();
+  const auto chunks =
+      detail::chunk_at_lines(rest, pool == nullptr ? 1 : pool->size());
+  std::vector<std::vector<Edge>> chunk_edges(chunks.size());
+  parallel_for_chunks(
+      pool, chunks.size(), chunks.size(), [&](u64 c, u64, u64, u32) {
+        std::vector<Edge>& out = chunk_edges[c];
+        out.reserve(chunks[c].size() / 8 + 1);
+        detail::for_each_line(chunks[c], [&](std::string_view line) {
+          if (line.empty()) return;
+          u64 r = 0, cc = 0;
+          double w = 0.0;
+          std::string_view s = line;
+          ECLP_CHECK_MSG(parse_u64(s, r) && parse_u64(s, cc),
+                         "matrix market: malformed entry: " << line);
+          if (weighted) parse_f64(s, w);
+          ECLP_CHECK_MSG(r >= 1 && r <= rows && cc >= 1 && cc <= cols,
+                         "matrix market: index out of range: " << line);
+          out.push_back({static_cast<vidx>(r - 1), static_cast<vidx>(cc - 1),
+                         static_cast<weight_t>(w)});
+        });
+      });
+
+  u64 total = 0;
+  for (const auto& ce : chunk_edges) total += ce.size();
+  ECLP_CHECK_MSG(total == entries, "matrix market: header promised "
+                                       << entries << " entries, file had "
+                                       << total);
   Builder b(static_cast<vidx>(rows));
-  b.reserve(entries * (symmetric ? 2 : 1));
-  for (u64 k = 0; k < entries; ++k) {
-    ECLP_CHECK_MSG(std::getline(is, line), "matrix market: truncated");
-    std::istringstream entry(line);
-    u64 r = 0, c = 0;
-    double w = 0.0;
-    entry >> r >> c;
-    if (weighted) entry >> w;
-    ECLP_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                   "matrix market: index out of range at entry " << k);
-    b.add(static_cast<vidx>(r - 1), static_cast<vidx>(c - 1),
-          static_cast<weight_t>(w));
-  }
+  b.reserve(total);
+  for (const auto& ce : chunk_edges) b.add_edges(ce);
   BuildOptions opt;
   opt.directed = !symmetric;
   opt.weighted = weighted;
   return b.build(opt);
 }
 
-Csr read_edge_list(std::istream& is, bool directed, vidx num_vertices) {
-  std::vector<Edge> edges;
+Csr read_matrix_market(std::istream& is) {
+  return parse_matrix_market(slurp(is));
+}
+
+Csr parse_edge_list(std::string_view text, bool directed, vidx num_vertices) {
+  using detail::parse_u64;
+
+  Pool* pool = build_pool();
+  const auto chunks =
+      detail::chunk_at_lines(text, pool == nullptr ? 1 : pool->size());
+  struct ChunkResult {
+    std::vector<Edge> edges;
+    vidx max_id = 0;
+    bool weighted = false;
+  };
+  std::vector<ChunkResult> results(chunks.size());
+  parallel_for_chunks(
+      pool, chunks.size(), chunks.size(), [&](u64 c, u64, u64, u32) {
+        ChunkResult& out = results[c];
+        out.edges.reserve(chunks[c].size() / 8 + 1);
+        detail::for_each_line(chunks[c], [&](std::string_view line) {
+          if (line.empty() || line[0] == '#' || line[0] == '%') return;
+          u64 u = 0, v = 0, w = 0;
+          std::string_view s = line;
+          ECLP_CHECK_MSG(parse_u64(s, u) && parse_u64(s, v),
+                         "edge list: malformed line: " << line);
+          // A third numeric token is a weight; trailing non-numeric noise
+          // is ignored, as the stream-based reader always did.
+          if (parse_u64(s, w)) out.weighted = true;
+          ECLP_CHECK_MSG(u < kNoVertex && v < kNoVertex,
+                         "edge list: id too large");
+          out.max_id = std::max({out.max_id, static_cast<vidx>(u),
+                                 static_cast<vidx>(v)});
+          out.edges.push_back({static_cast<vidx>(u), static_cast<vidx>(v),
+                               static_cast<weight_t>(w)});
+        });
+      });
+
   vidx max_id = 0;
   bool weighted = false;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    u64 u = 0, v = 0, w = 0;
-    ECLP_CHECK_MSG(static_cast<bool>(ls >> u >> v),
-                   "edge list: malformed line: " << line);
-    if (ls >> w) weighted = true;
-    ECLP_CHECK_MSG(u < kNoVertex && v < kNoVertex, "edge list: id too large");
-    max_id = std::max({max_id, static_cast<vidx>(u), static_cast<vidx>(v)});
-    edges.push_back({static_cast<vidx>(u), static_cast<vidx>(v),
-                     static_cast<weight_t>(w)});
+  u64 total = 0;
+  for (const ChunkResult& r : results) {
+    max_id = std::max(max_id, r.max_id);
+    weighted = weighted || r.weighted;
+    total += r.edges.size();
   }
-  const vidx n =
-      num_vertices > 0 ? num_vertices : (edges.empty() ? 0 : max_id + 1);
-  ECLP_CHECK_MSG(n > max_id || edges.empty(),
+  const vidx n = num_vertices > 0 ? num_vertices
+                                  : (total == 0 ? 0 : max_id + 1);
+  ECLP_CHECK_MSG(n > max_id || total == 0,
                  "edge list: forced vertex count too small");
+  Builder b(n);
+  b.reserve(total);
+  for (const ChunkResult& r : results) b.add_edges(r.edges);
   BuildOptions opt;
   opt.directed = directed;
   opt.weighted = weighted;
-  return from_edges(n, edges, opt);
+  return b.build(opt);
+}
+
+Csr read_edge_list(std::istream& is, bool directed, vidx num_vertices) {
+  return parse_edge_list(slurp(is), directed, num_vertices);
 }
 
 namespace {
@@ -197,20 +287,30 @@ std::string extension_of(const std::string& path) {
   return path.substr(dot + 1);
 }
 
+Csr parse_by_extension(const std::string& ext, std::string_view text,
+                       bool directed) {
+  if (ext == "mtx") return parse_matrix_market(text);
+  if (ext == "gr") return parse_dimacs_sp(text);
+  if (ext == "col") return parse_dimacs_col(text);
+  if (ext == "el" || ext == "txt") return parse_edge_list(text, directed);
+  ECLP_CHECK_MSG(false, "unknown graph format '." << ext << "' ("
+                        << "known: eclg, mtx, gr, col, el, txt)");
+  return {};
+}
+
 }  // namespace
 
 Csr load_any(const std::string& path, bool directed) {
   const std::string ext = extension_of(path);
-  if (ext == "eclg") return load_binary(path);
-  std::ifstream is(path);
-  ECLP_CHECK_MSG(is.is_open(), "cannot open " << path);
-  if (ext == "mtx") return read_matrix_market(is);
-  if (ext == "gr") return read_dimacs_sp(is);
-  if (ext == "col") return read_dimacs_col(is);
-  if (ext == "el" || ext == "txt") return read_edge_list(is, directed);
-  ECLP_CHECK_MSG(false, "unknown graph format '." << ext << "' ("
-                        << "known: eclg, mtx, gr, col, el, txt)");
-  return {};
+  if (ext == "eclg") return load_binary(path);  // already the cached form
+  const std::string text = slurp_file(path);
+  if (cache_dir().empty()) return parse_by_extension(ext, text, directed);
+  // Content-addressed: the key covers the bytes (not the path — renames
+  // and copies still hit) plus everything else that shapes the CSR.
+  CacheKey key;
+  key.mix("eclp-file-v1").mix(ext).mix_u64(directed ? 1 : 0).mix(text);
+  return cache_or_build(key,
+                        [&] { return parse_by_extension(ext, text, directed); });
 }
 
 void save_any(const Csr& g, const std::string& path) {

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "graph/csr.hpp"
 
@@ -24,20 +25,30 @@ Csr load_binary(const std::string& path);
 
 /// Matrix Market coordinate format. Reading accepts `pattern` (unweighted)
 /// and `integer`/`real` (weighted, reals truncated) entries, and `general`
-/// or `symmetric` symmetry. 1-based indices per the spec.
+/// or `symmetric` symmetry. 1-based indices per the spec. Parsing is
+/// chunk-parallel on the build pool (per-chunk edge buffers merged in
+/// chunk order — see docs/INGEST.md); the result is identical at any
+/// thread count. parse_* are the in-memory entry points the read_*
+/// stream wrappers delegate to.
 void write_matrix_market(const Csr& g, std::ostream& os);
 Csr read_matrix_market(std::istream& is);
+Csr parse_matrix_market(std::string_view text);
 
 /// Edge list: one "u v" or "u v w" per line; lines starting with '#' or '%'
 /// are comments. Vertex count is 1 + max id unless `num_vertices` forces it.
 Csr read_edge_list(std::istream& is, bool directed = false,
                    vidx num_vertices = 0);
+Csr parse_edge_list(std::string_view text, bool directed = false,
+                    vidx num_vertices = 0);
 void write_edge_list(const Csr& g, std::ostream& os);
 
 /// Load/save by file extension: .eclg (binary container), .mtx (Matrix
 /// Market), .gr (DIMACS shortest-path), .col (DIMACS coloring), .el/.txt
 /// (edge list). `directed` only applies to formats that do not encode
 /// directedness themselves (edge lists). Throws on unknown extensions.
+/// When the graph cache is enabled (graph/cache.hpp: ECLP_GRAPH_CACHE or
+/// --graph-cache), text loads are keyed by (format, directedness, file
+/// bytes) and memoized as .eclg, so repeat loads skip parse and build.
 Csr load_any(const std::string& path, bool directed = false);
 void save_any(const Csr& g, const std::string& path);
 

@@ -1,0 +1,95 @@
+// Internal helpers for chunk-parallel text-format parsing.
+//
+// The readers in io.cpp / dimacs.cpp slurp their input into one buffer,
+// split it into byte ranges aligned to line boundaries (one chunk per
+// build-pool worker), parse each chunk into a private edge buffer, and
+// append the buffers in chunk order. Concatenating the chunks in order
+// reproduces the input byte-for-byte, so the merged edge sequence equals
+// what a serial line-by-line sweep produces — the chunking is invisible in
+// the output (see docs/INGEST.md for the determinism argument).
+//
+// Number scanning uses std::from_chars instead of istringstream: the
+// per-line stream construction was itself a measurable slice of ingest.
+#pragma once
+
+#include <charconv>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace eclp::graph::detail {
+
+/// Split `text` into at most `max_chunks` contiguous ranges whose
+/// boundaries fall on line starts. Concatenating the ranges in order
+/// reproduces `text` exactly.
+inline std::vector<std::string_view> chunk_at_lines(std::string_view text,
+                                                    u64 max_chunks) {
+  std::vector<std::string_view> chunks;
+  if (text.empty()) return chunks;
+  if (max_chunks < 1) max_chunks = 1;
+  const usize target = (text.size() + max_chunks - 1) / max_chunks;
+  usize begin = 0;
+  while (begin < text.size()) {
+    usize end = begin + target;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const usize nl = text.find('\n', end);
+      end = nl == std::string_view::npos ? text.size() : nl + 1;
+    }
+    chunks.push_back(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return chunks;
+}
+
+/// Call fn(line) for every '\n'-terminated line of `chunk` (a final
+/// unterminated line included); a trailing '\r' (CRLF input) is stripped.
+template <typename Fn>
+void for_each_line(std::string_view chunk, Fn&& fn) {
+  usize begin = 0;
+  while (begin < chunk.size()) {
+    const usize nl = chunk.find('\n', begin);
+    const usize end = nl == std::string_view::npos ? chunk.size() : nl;
+    std::string_view line = chunk.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    fn(line);
+    begin = end + 1;
+  }
+}
+
+inline void skip_spaces(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+}
+
+/// Parse an unsigned integer off the front of `s` (leading blanks
+/// skipped). Advances `s` past the number on success.
+inline bool parse_u64(std::string_view& s, u64& out) {
+  skip_spaces(s);
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{}) return false;
+  s.remove_prefix(static_cast<usize>(ptr - s.data()));
+  return true;
+}
+
+/// Parse a floating-point value off the front of `s` (Matrix Market
+/// `real` entries; values are truncated to integer weights by the caller).
+inline bool parse_f64(std::string_view& s, double& out) {
+  skip_spaces(s);
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{}) return false;
+  s.remove_prefix(static_cast<usize>(ptr - s.data()));
+  return true;
+}
+
+/// True when nothing but blanks remains (used to ignore trailing noise the
+/// old istringstream readers also ignored).
+inline bool only_blanks(std::string_view s) {
+  skip_spaces(s);
+  return s.empty();
+}
+
+}  // namespace eclp::graph::detail

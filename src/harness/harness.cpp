@@ -6,6 +6,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "graph/cache.hpp"
+#include "support/parallel_for.hpp"
 #include "support/stats.hpp"
 
 namespace eclp::harness {
@@ -108,6 +110,15 @@ BenchContext parse(int argc, const char* const* argv,
                      "plus a .trace.json Perfetto trace) to this path; "
                      "overrides ECLP_PROFILE",
                      "");
+  ctx.cli.add_option("build-threads",
+                     "host threads for parallel graph ingest (0 = one per "
+                     "hardware thread; overrides ECLP_BUILD_THREADS)",
+                     "");
+  ctx.cli.add_option("graph-cache",
+                     "content-addressed .eclg cache directory — repeat runs "
+                     "skip graph generation/parsing/build; overrides "
+                     "ECLP_GRAPH_CACHE",
+                     "");
   ctx.cli.add_flag("help", "show usage");
   ctx.cli.parse(argc, argv);
   if (ctx.cli.get_flag("help")) {
@@ -121,6 +132,12 @@ BenchContext parse(int argc, const char* const* argv,
   ECLP_CHECK(ctx.runs >= 1);
   if (!ctx.cli.get("sim-threads").empty()) {
     sim::set_sim_threads(static_cast<u32>(ctx.cli.get_int("sim-threads")));
+  }
+  if (!ctx.cli.get("build-threads").empty()) {
+    set_build_threads(static_cast<u32>(ctx.cli.get_int("build-threads")));
+  }
+  if (!ctx.cli.get("graph-cache").empty()) {
+    graph::set_cache_dir(ctx.cli.get("graph-cache"));
   }
   ctx.profile_path = ctx.cli.get("profile");
   if (ctx.profile_path.empty()) {

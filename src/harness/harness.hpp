@@ -11,6 +11,9 @@
 //                                table (one JSON document; numbers parsed
 //                                back out of the formatted cells) — the
 //                                BENCH_<name>.json perf-trajectory artifacts
+//   --build-threads=<n>          ingest parallelism (ECLP_BUILD_THREADS)
+//   --graph-cache=<dir>          content-addressed graph cache dir
+//                                (ECLP_GRAPH_CACHE) — see docs/INGEST.md
 // and prints the reproduced table plus, where the paper quotes one, the
 // corresponding correlation coefficient.
 #pragma once

@@ -1,127 +1,25 @@
-// Work-stealing host thread pool for block-parallel simulation.
+// Simulator attachment of the work-stealing host pool.
 //
-// Device::launch* dispatches the blocks of a *block-independent* launch
-// (LaunchConfig::block_independent, see device.hpp) across the workers of a
-// Pool. The scheduling is classic range-splitting work stealing: the block
-// range is split into one contiguous chunk per worker, each worker drains
-// its own chunk from the front, and a worker that runs dry steals the upper
-// half of the largest remaining chunk. Stealing only moves *which worker*
-// executes a block, never what the block computes — determinism is the
-// launch discipline's job (per-block state, per-block PRNG streams, shard
-// merges in block-index order), not the scheduler's.
+// The pool itself lives in support/pool.hpp (it also powers the graph
+// ingest pipeline via support/parallel_for.hpp); this header re-exports it
+// under eclp::sim for the simulator's callers and owns the *simulator's*
+// process-wide configuration: how many host threads a Device dispatches
+// block-independent launches across. That knob (ECLP_SIM_THREADS /
+// --sim-threads) is deliberately separate from the ingest knob
+// (ECLP_BUILD_THREADS): simulation thread counts are an experimental
+// variable, ingest just wants the hardware.
 //
-// Exceptions thrown by block bodies are captured per block; after every
-// worker has drained, the exception of the *lowest* failing block index is
-// rethrown, so a failing parallel launch reports the same block a
-// sequential sweep would have reported first.
+// Determinism is the launch discipline's job (per-block state, per-block
+// PRNG streams, shard merges in block-index order), not the scheduler's —
+// see support/pool.hpp for the stealing mechanics and the
+// lowest-failing-task exception contract.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "support/types.hpp"
-#include "support/worker.hpp"
+#include "support/pool.hpp"
 
 namespace eclp::sim {
 
-class Pool {
- public:
-  /// Create a pool of `workers` worker slots (clamped to
-  /// [1, kMaxWorkerSlots]). `workers == 0` means one slot per hardware
-  /// thread. A pool of size 1 runs everything inline on the caller.
-  explicit Pool(u32 workers);
-  ~Pool();
-
-  Pool(const Pool&) = delete;
-  Pool& operator=(const Pool&) = delete;
-
-  u32 size() const { return workers_; }
-
-  /// Run `fn(task, worker)` once for every task in [0, tasks). The calling
-  /// thread participates as worker 0. Returns when every task has finished;
-  /// rethrows the captured exception of the lowest failing task index, if
-  /// any. Reentrant calls (from inside a task) degrade to inline sequential
-  /// execution on the calling worker.
-  void run(u64 tasks, const std::function<void(u64 task, u32 worker)>& fn);
-
-  // --- worker sampling -------------------------------------------------------
-  /// Per-worker participation accounting, accumulated across run() calls
-  /// while sampling is enabled. busy_ns is the wall-clock a worker spent
-  /// draining (claiming, stealing, executing); utilization is busy_ns over
-  /// the sampling window measured by the consumer (profile::Session).
-  struct WorkerSample {
-    u32 worker = 0;
-    u64 busy_ns = 0;  ///< wall-clock spent inside drain()
-    u64 drains = 0;   ///< launches this worker participated in
-    u64 tasks = 0;    ///< blocks this worker executed
-  };
-
-  /// Enable/disable per-drain wall-clock sampling. Off by default: an
-  /// unobserved run() takes zero clock reads. Toggled by profile sessions
-  /// around their measurement window.
-  void set_sampling(bool on) {
-    sampling_.store(on, std::memory_order_relaxed);
-  }
-  bool sampling() const { return sampling_.load(std::memory_order_relaxed); }
-  /// Snapshot of every worker's accumulated sample. Call only while no
-  /// run() is in flight (the simulator joins every launch before returning,
-  /// so any point between launches is safe).
-  std::vector<WorkerSample> worker_samples() const;
-  void reset_worker_samples();
-
- private:
-  struct alignas(64) Chunk {
-    // Owned range [next, end). `next` advances from the front (owner and
-    // thieves both claim one task at a time via the mutex); a steal moves
-    // the upper half of the range to the thief's chunk. The atomics allow
-    // lock-free *scanning* for the largest victim; mutations happen under
-    // the chunk mutex.
-    std::atomic<u64> next{0};
-    std::atomic<u64> end{0};
-    std::mutex m;
-  };
-
-  void worker_main(u32 slot);
-  void drain(u32 slot, const std::function<void(u64, u32)>& fn);
-  /// Claim one task for `slot`, stealing if its own chunk is empty.
-  /// Returns false when no work is left anywhere.
-  bool claim(u32 slot, u64& task);
-  void record_failure(u64 task);
-
-  u32 workers_ = 1;
-  std::vector<std::thread> threads_;
-  std::vector<Chunk> chunks_;
-
-  // Each slot is written only by its own worker inside drain(); reads
-  // happen from the host between launches, so plain fields suffice (same
-  // discipline as the sharded profiling counters).
-  struct alignas(64) SampleSlot {
-    u64 busy_ns = 0;
-    u64 drains = 0;
-    u64 tasks = 0;
-  };
-  std::vector<SampleSlot> samples_;
-  std::atomic<bool> sampling_{false};
-
-  // Job hand-off: generation bumps wake the workers; `active_` counts
-  // workers still draining the current job.
-  std::mutex job_mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  u64 generation_ = 0;
-  u32 active_ = 0;
-  bool shutdown_ = false;
-  const std::function<void(u64, u32)>* job_ = nullptr;
-
-  std::mutex failure_mutex_;
-  u64 failed_task_ = ~u64{0};
-  std::exception_ptr failure_;
-};
+using ::eclp::Pool;
 
 /// Number of simulator host threads currently configured (>= 1). The first
 /// call reads the ECLP_SIM_THREADS environment variable; set_sim_threads

@@ -1,0 +1,54 @@
+#include "support/parallel_for.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace eclp {
+
+namespace {
+
+std::mutex g_mutex;
+u32 g_build_threads = 0;  // 0 = not yet initialized from the environment
+std::unique_ptr<Pool> g_build_pool;
+
+u32 threads_from_env() {
+  const char* s = std::getenv("ECLP_BUILD_THREADS");
+  if (s == nullptr || *s == '\0') return clamp_worker_count(0);
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return clamp_worker_count(0);
+  return clamp_worker_count(static_cast<u32>(v));
+}
+
+u32 build_threads_locked() {
+  if (g_build_threads == 0) g_build_threads = threads_from_env();
+  return g_build_threads;
+}
+
+}  // namespace
+
+u32 build_threads() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return build_threads_locked();
+}
+
+void set_build_threads(u32 n) {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_build_threads = clamp_worker_count(n);
+  if (g_build_pool != nullptr && g_build_pool->size() != g_build_threads) {
+    g_build_pool.reset();
+  }
+}
+
+Pool* build_pool() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  const u32 threads = build_threads_locked();
+  if (threads <= 1) return nullptr;
+  if (g_build_pool == nullptr) {
+    g_build_pool = std::make_unique<Pool>(threads);
+  }
+  return g_build_pool.get();
+}
+
+}  // namespace eclp

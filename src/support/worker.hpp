@@ -1,11 +1,11 @@
 // Worker-slot identification for host-parallel execution.
 //
-// The simulator's thread pool (sim/pool.hpp) assigns every OS thread that
-// executes simulated blocks a small dense *worker slot*. Components that
-// must be writable from concurrently executing blocks — the sharded
-// profiling counters in profile/counters.hpp — key their shards on this
-// slot. Keeping the accessor here (rather than in sim/) lets the profiling
-// library stay independent of the simulator.
+// The work-stealing thread pool (support/pool.hpp) assigns every OS thread
+// that executes tasks — simulated blocks, ingest chunks — a small dense
+// *worker slot*. Components that must be writable from concurrently
+// executing tasks — the sharded profiling counters in profile/counters.hpp
+// — key their shards on this slot. Keeping the accessor here lets the
+// profiling library stay independent of both the simulator and the pool.
 //
 // Slot 0 is the host thread (and the thread that calls Pool::run, which
 // participates in the work); pool workers occupy slots 1..kMaxWorkerSlots-1.

@@ -1,0 +1,82 @@
+# Ingest smoke check, run as `cmake -P` by the ingest-smoke ctest label.
+#
+# Inputs (all -D): ECLP_RUN (tool path), INPUT (suite input name),
+# WORK_DIR (scratch directory, recreated every run).
+#
+# Steps:
+#  1. eclp-run --graph-cache=$WORK_DIR/cache — cold run, must succeed and
+#     must populate the cache with at least one .eclg entry;
+#  2. an identical run — the warm run must succeed off the cache hit (and
+#     print the same result line, since cached CSRs are bit-identical);
+#  3. every cached entry is truncated to garbage, then a third run — the
+#     corruption fallback must warn, rebuild, and still succeed;
+#  4. a fourth run driven through the ECLP_GRAPH_CACHE environment
+#     variable instead of the flag (covers the env plumbing).
+foreach(var ECLP_RUN INPUT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "ingest_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_dir "${WORK_DIR}/cache")
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=tiny
+          --graph-cache=${cache_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cold_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold cached run failed (${rc}):\n${cold_out}\n${err}")
+endif()
+
+file(GLOB entries "${cache_dir}/*.eclg")
+list(LENGTH entries num_entries)
+if(num_entries EQUAL 0)
+  message(FATAL_ERROR "cold run left no .eclg entries in ${cache_dir}")
+endif()
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=tiny
+          --graph-cache=${cache_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE warm_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm cached run failed (${rc}):\n${warm_out}\n${err}")
+endif()
+# Cached CSRs are bit-identical, so the deterministic result line must be
+# the modeled-cycle-for-modeled-cycle same.
+string(REGEX MATCH "CC: [^\n]* modeled cycles" cold_line "${cold_out}")
+string(REGEX MATCH "CC: [^\n]* modeled cycles" warm_line "${warm_out}")
+if(NOT cold_line STREQUAL warm_line)
+  message(FATAL_ERROR "warm run diverged from cold run:\n"
+          "  cold: ${cold_line}\n  warm: ${warm_line}")
+endif()
+
+foreach(entry IN LISTS entries)
+  file(WRITE "${entry}" "garbage: deliberately corrupted by ingest_smoke")
+endforeach()
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=tiny
+          --graph-cache=${cache_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE corrupt_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "run over corrupted cache failed (${rc}):\n${out}\n${corrupt_err}")
+endif()
+string(REGEX MATCH "CC: [^\n]* modeled cycles" corrupt_line "${out}")
+if(NOT cold_line STREQUAL corrupt_line)
+  message(FATAL_ERROR "corruption-fallback run diverged:\n"
+          "  cold:    ${cold_line}\n  rebuilt: ${corrupt_line}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ECLP_GRAPH_CACHE=${cache_dir}
+          "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=tiny
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "eclp-run under ECLP_GRAPH_CACHE failed (${rc}):\n${out}\n${err}")
+endif()
+
+message(STATUS "ingest smoke ${INPUT}: ok")

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "algos/cc/ecl_cc.hpp"
+#include "graph/cache.hpp"
 #include "algos/gc/ecl_gc.hpp"
 #include "algos/mis/ecl_mis.hpp"
 #include "algos/mst/ecl_mst.hpp"
@@ -27,6 +28,7 @@
 #include "profile/session.hpp"
 #include "sim/trace.hpp"
 #include "support/cli.hpp"
+#include "support/parallel_for.hpp"
 #include "support/timer.hpp"
 
 using namespace eclp;
@@ -68,6 +70,15 @@ int main(int argc, char** argv) {
                  "host worker threads for block-parallel simulation "
                  "(0 = one per hardware thread; overrides ECLP_SIM_THREADS)",
                  "");
+  cli.add_option("build-threads",
+                 "host threads for parallel graph ingest (0 = one per "
+                 "hardware thread; overrides ECLP_BUILD_THREADS)",
+                 "");
+  cli.add_option("graph-cache",
+                 "content-addressed .eclg cache directory — repeat runs "
+                 "skip graph generation/parsing/build; overrides "
+                 "ECLP_GRAPH_CACHE (see docs/INGEST.md)",
+                 "");
   cli.add_option("profile",
                  "write a profiling session (eclp.profile JSON + Perfetto "
                  ".trace.json) to this path; overrides ECLP_PROFILE",
@@ -84,6 +95,12 @@ int main(int argc, char** argv) {
   const std::string algo = cli.get("algo");
   if (!cli.get("sim-threads").empty()) {
     sim::set_sim_threads(static_cast<u32>(cli.get_int("sim-threads")));
+  }
+  if (!cli.get("build-threads").empty()) {
+    set_build_threads(static_cast<u32>(cli.get_int("build-threads")));
+  }
+  if (!cli.get("graph-cache").empty()) {
+    graph::set_cache_dir(cli.get("graph-cache"));
   }
   const u64 seed = static_cast<u64>(cli.get_int("seed"));
   sim::Device dev(sim::CostModel{}, seed,
