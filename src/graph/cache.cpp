@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <set>
 
 #include <unistd.h>
 
@@ -18,7 +19,7 @@ std::mutex g_mutex;
 bool g_dir_initialized = false;
 std::string g_dir;
 CacheStats g_stats;
-std::atomic<bool> g_warned{false};
+std::set<std::string> g_warned_paths;
 
 std::string cache_dir_locked() {
   if (!g_dir_initialized) {
@@ -30,9 +31,16 @@ std::string cache_dir_locked() {
 }
 
 /// The cache degrades to a rebuild on any I/O problem; say so exactly once
-/// per process so a broken cache directory does not flood stderr.
-void warn_once(const std::string& what) {
-  if (!g_warned.exchange(true)) {
+/// *per path* so a broken entry does not flood stderr on every open of a
+/// long-lived process, while trouble with a different entry (or directory)
+/// still surfaces.
+void warn_once(const std::string& path, const std::string& what) {
+  bool fresh;
+  {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    fresh = g_warned_paths.insert(path).second;
+  }
+  if (fresh) {
     std::fprintf(stderr, "eclp: graph cache: %s (falling back to rebuild)\n",
                  what.c_str());
   }
@@ -96,6 +104,16 @@ void reset_cache_stats() {
   g_stats = CacheStats{};
 }
 
+usize cache_warned_paths() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return g_warned_paths.size();
+}
+
+void reset_cache_warnings() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_warned_paths.clear();
+}
+
 std::optional<Csr> cache_load(const CacheKey& key) {
   const std::string dir = cache_dir();
   if (dir.empty()) return std::nullopt;
@@ -112,7 +130,7 @@ std::optional<Csr> cache_load(const CacheKey& key) {
     g_stats.hits++;
     return g;
   } catch (const std::exception& e) {
-    warn_once("corrupt entry " + path.string() + ": " + e.what());
+    warn_once(path.string(), "corrupt entry " + path.string() + ": " + e.what());
     std::filesystem::remove(path, ec);  // drop it so the rebuild re-stores
     std::lock_guard<std::mutex> lk(g_mutex);
     g_stats.corrupt++;
@@ -127,23 +145,27 @@ void cache_store(const CacheKey& key, const Csr& g) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
-    warn_once("cannot create " + dir + ": " + ec.message());
+    warn_once(dir, "cannot create " + dir + ": " + ec.message());
     return;
   }
-  // Unique temp name per process: a concurrent writer racing on the same
-  // key at worst renames last; both wrote identical bytes for the key.
+  // Unique temp name per process *and* per store: concurrent writers —
+  // other processes sharing the directory, or this process's serving
+  // threads racing on the same key — never interleave into one temp file;
+  // whoever renames last wins, and both wrote identical bytes for the key.
+  static std::atomic<u64> tmp_seq{0};
   const auto tmp = path.string() + ".tmp." +
-                   std::to_string(static_cast<unsigned long>(::getpid()));
+                   std::to_string(static_cast<unsigned long>(::getpid())) +
+                   "." + std::to_string(tmp_seq.fetch_add(1));
   try {
     save_binary(g, tmp);
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-      warn_once("cannot rename " + tmp + ": " + ec.message());
+      warn_once(path.string(), "cannot rename " + tmp + ": " + ec.message());
       std::filesystem::remove(tmp, ec);
       return;
     }
   } catch (const std::exception& e) {
-    warn_once(std::string("cannot write entry: ") + e.what());
+    warn_once(path.string(), std::string("cannot write entry: ") + e.what());
     std::filesystem::remove(tmp, ec);
     return;
   }

@@ -58,9 +58,18 @@ struct CacheStats {
 CacheStats cache_stats();
 void reset_cache_stats();
 
+/// Number of distinct paths that have emitted a cache warning so far.
+/// Warnings are deduplicated *per path*, not per process: a long-lived
+/// serving process that trips over entry A, then entry B, reports both —
+/// but repeated trouble with the same entry (e.g. a corrupt store re-read
+/// on every open) stays a single line. Tests reset the dedup state with
+/// reset_cache_warnings().
+usize cache_warned_paths();
+void reset_cache_warnings();
+
 /// Load the CSR cached under `key`, or nullopt when caching is disabled,
 /// the entry is missing, or it fails to deserialize (corruption warns once
-/// per process and drops the entry; the caller rebuilds).
+/// per entry path and drops the entry; the caller rebuilds).
 std::optional<Csr> cache_load(const CacheKey& key);
 
 /// Store `g` under `key` (no-op when caching is disabled). Writes to a

@@ -1,0 +1,139 @@
+#include "graph/pool.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace eclp::graph {
+
+u64 graph_bytes(const Csr& g) {
+  return g.row_offsets().size_bytes() + g.col_indices().size_bytes() +
+         g.weights().size_bytes();
+}
+
+Pool::Pool(u64 byte_budget) : budget_(byte_budget) {}
+
+Pool::~Pool() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& [key, e] : entries_) {
+    // A pool must outlive its pins: destruction with live pins would leave
+    // them releasing into freed memory.
+    ECLP_CHECK_MSG(e->pins == 0, "graph::Pool destroyed with '"
+                                     << key << "' still pinned");
+  }
+}
+
+Pool::Pin Pool::acquire(const std::string& key,
+                        const std::function<Csr()>& build) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  stats_.requests++;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      Entry* e = it->second.get();
+      if (e->building) {
+        // Another thread is building this key: wait for the build to land
+        // (or for the failed placeholder to disappear) and re-evaluate.
+        built_cv_.wait(lk, [&] {
+          auto again = entries_.find(key);
+          return again == entries_.end() || !again->second->building;
+        });
+        continue;
+      }
+      e->pins++;
+      e->last_use = ++clock_;
+      stats_.hits++;
+      Pin pin;
+      pin.pool_ = this;
+      pin.entry_ = e;
+      pin.graph_ = e->graph;
+      pin.hit_ = true;
+      return pin;
+    }
+
+    // Miss: install a pre-pinned placeholder (un-evictable, and the signal
+    // that concurrent acquires of this key must wait), build unlocked.
+    auto placeholder = std::make_unique<Entry>();
+    placeholder->key = key;
+    placeholder->pins = 1;
+    Entry* e = entries_.emplace(key, std::move(placeholder))
+                   .first->second.get();
+    stats_.misses++;
+    lk.unlock();
+    Csr g;
+    try {
+      g = build();
+    } catch (...) {
+      lk.lock();
+      entries_.erase(key);
+      built_cv_.notify_all();
+      throw;
+    }
+    auto shared = std::make_shared<const Csr>(std::move(g));
+    lk.lock();
+    e->graph = shared;
+    e->bytes = graph_bytes(*shared);
+    e->building = false;
+    e->last_use = ++clock_;
+    bytes_ += e->bytes;
+    if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
+    evict_to_budget_locked();
+    built_cv_.notify_all();
+    Pin pin;
+    pin.pool_ = this;
+    pin.entry_ = e;
+    pin.graph_ = std::move(shared);
+    pin.hit_ = false;
+    return pin;
+  }
+}
+
+void Pool::release(Entry* e) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ECLP_CHECK_MSG(e->pins > 0, "graph::Pool pin released twice");
+  e->pins--;
+  e->last_use = ++clock_;
+  // Pinned entries block eviction, so budget overshoot can only be paid
+  // down when a pin drops.
+  if (e->pins == 0) evict_to_budget_locked();
+}
+
+void Pool::evict_to_budget_locked() {
+  while (bytes_ > budget_) {
+    Entry* victim = nullptr;
+    for (const auto& [key, e] : entries_) {
+      if (e->pins != 0 || e->building) continue;  // never evict pinned
+      if (victim == nullptr || e->last_use < victim->last_use) {
+        victim = e.get();
+      }
+    }
+    if (victim == nullptr) return;  // everything resident is pinned
+    ECLP_CHECK(victim->pins == 0);
+    bytes_ -= victim->bytes;
+    stats_.evictions++;
+    entries_.erase(victim->key);
+  }
+}
+
+PoolStats Pool::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  PoolStats s = stats_;
+  s.bytes = bytes_;
+  s.entries = 0;
+  s.pinned = 0;
+  s.pins = 0;
+  for (const auto& [key, e] : entries_) {
+    s.entries++;
+    if (e->pins > 0) s.pinned++;
+    s.pins += e->pins;
+  }
+  return s;
+}
+
+bool Pool::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() && !it->second->building;
+}
+
+}  // namespace eclp::graph

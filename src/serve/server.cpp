@@ -1,0 +1,307 @@
+#include "serve/server.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "algos/cc/ecl_cc.hpp"
+#include "algos/gc/ecl_gc.hpp"
+#include "algos/mis/ecl_mis.hpp"
+#include "algos/mst/ecl_mst.hpp"
+#include "algos/scc/ecl_scc.hpp"
+#include "gen/suite.hpp"
+#include "graph/cache.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+#include "profile/session.hpp"
+#include "sim/device.hpp"
+#include "support/timer.hpp"
+
+namespace eclp::serve {
+
+namespace {
+
+/// 32-hex content fingerprint of a solution vector (same 128-bit mix the
+/// graph cache keys use) — the cheap stand-in for shipping whole label
+/// arrays through response files.
+template <typename T>
+std::string checksum_of(const std::vector<T>& v) {
+  graph::CacheKey key;
+  key.mix(std::string_view(reinterpret_cast<const char*>(v.data()),
+                           v.size() * sizeof(T)));
+  return key.hex();
+}
+
+std::string summary_line(const char* fmt, auto... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+/// Request ids become artifact file names; keep them path-safe.
+std::string sanitize_for_filename(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_' && c != '.') {
+      c = '_';
+    }
+  }
+  return out.empty() ? std::string("request") : out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      exec_pool_(options.threads),
+      graphs_(options.graph_pool_bytes) {
+  if (!options_.profile_dir.empty()) {
+    std::filesystem::create_directories(options_.profile_dir);
+  }
+  if (!options_.manual_start) start();
+}
+
+Server::~Server() {
+  start();  // a never-started manual server still drains its queue
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  dispatcher_.join();
+}
+
+void Server::start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (started_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+std::future<Response> Server::submit(Request req) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  stats_.submitted++;
+  if (pending_.size() >= options_.max_queue) {
+    stats_.rejected++;
+    Response r;
+    r.id = req.id;
+    r.algo = req.algo;
+    r.graph = req.graph_label();
+    r.status = Status::kRejected;
+    r.error = "queue full (" + std::to_string(pending_.size()) +
+              " pending, bound " + std::to_string(options_.max_queue) + ")";
+    std::promise<Response> p;
+    p.set_value(std::move(r));
+    return p.get_future();
+  }
+  stats_.accepted++;
+  Job job;
+  job.request = std::move(req);
+  job.submit_ns = monotonic_ns();
+  std::future<Response> f = job.promise.get_future();
+  pending_.push_back(std::move(job));
+  lk.unlock();
+  pending_cv_.notify_one();
+  return f;
+}
+
+std::future<Response> Server::enqueue(Request req) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  space_cv_.wait(lk, [&] { return pending_.size() < options_.max_queue; });
+  stats_.submitted++;
+  stats_.accepted++;
+  Job job;
+  job.request = std::move(req);
+  job.submit_ns = monotonic_ns();
+  std::future<Response> f = job.promise.get_future();
+  pending_.push_back(std::move(job));
+  lk.unlock();
+  pending_cv_.notify_one();
+  return f;
+}
+
+std::vector<Response> Server::serve(std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (Request& req : requests) futures.push_back(enqueue(std::move(req)));
+  std::vector<Response> responses;
+  responses.reserve(futures.size());
+  for (std::future<Response>& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+void Server::dispatcher_main() {
+  for (;;) {
+    std::vector<Job> wave;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      pending_cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // only reachable when stopping
+      wave.reserve(pending_.size());
+      while (!pending_.empty()) {
+        wave.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    // One task per request on the shared work-stealing pool; the
+    // dispatcher participates as worker 0, so `threads` is the
+    // concurrency bound. execute() never throws (errors become
+    // Status::kError responses), so no task can poison the wave.
+    exec_pool_.run(wave.size(), [&](u64 i, u32) {
+      wave[i].promise.set_value(
+          execute(wave[i].request, wave[i].submit_ns));
+    });
+  }
+}
+
+std::string Server::graph_key(const Request& req) {
+  const bool want_directed = req.algo == Algo::kScc;
+  graph::CacheKey key;
+  key.mix("eclp-serve-graph-v1");
+  if (!req.input.empty()) {
+    key.mix("input").mix(req.input).mix_u64(static_cast<u64>(req.scale));
+  } else {
+    // Keyed by path (not bytes): the pool lives inside one process and
+    // maps a *request spec* to a resident graph. The on-disk cache below
+    // it stays content-addressed by file bytes.
+    key.mix("file").mix(req.file).mix_u64(req.directed ? 1 : 0);
+  }
+  key.mix_u64(want_directed ? 1 : 0);
+  key.mix_u64(req.algo == Algo::kMst ? req.weights_seed : 0);
+  return key.hex();
+}
+
+graph::Csr Server::build_graph(const Request& req) const {
+  const bool want_directed = req.algo == Algo::kScc;
+  graph::Csr g;
+  if (!req.input.empty()) {
+    g = gen::find_input(req.input).make(req.scale);
+  } else {
+    g = graph::load_any(req.file, want_directed || req.directed);
+  }
+  // Plain CheckFailure (no source location): this message reaches response
+  // files pinned by goldens, so it must not shift with code edits.
+  if (want_directed && !g.directed()) {
+    throw CheckFailure("request " + req.id +
+                       ": scc needs a directed graph, " + req.graph_label() +
+                       " is undirected");
+  }
+  if (!want_directed && g.directed()) g = graph::symmetrize(g);
+  if (req.algo == Algo::kMst && !g.weighted()) {
+    g = graph::with_random_weights(g, req.weights_seed);
+  }
+  return g;
+}
+
+Response Server::execute(const Request& req, u64 submit_ns) {
+  Response r;
+  r.id = req.id;
+  r.algo = req.algo;
+  r.graph = req.graph_label();
+  try {
+    graph::Pool::Pin pin =
+        graphs_.acquire(graph_key(req), [&] { return build_graph(req); });
+    r.pool_hit = pin.was_hit();
+    const graph::Csr& g = *pin;
+
+    sim::Device dev(sim::CostModel{}, req.seed,
+                    req.seed == 0 ? sim::ScheduleMode::kDeterministic
+                                  : sim::ScheduleMode::kShuffled);
+    std::unique_ptr<profile::Session> session;
+    if (!options_.profile_dir.empty()) {
+      session = std::make_unique<profile::Session>(dev);
+      session->set_meta("tool", "eclp-serve");
+      session->set_meta("request", req.id);
+      session->set_meta("algo", algo_name(req.algo));
+      session->set_meta("graph", req.graph_label());
+      session->set_meta("seed", std::to_string(req.seed));
+      session->set_output(options_.profile_dir + "/" +
+                          sanitize_for_filename(req.id) + ".json");
+    }
+
+    bool verified = true;
+    switch (req.algo) {
+      case Algo::kCc: {
+        const auto res = algos::cc::run(dev, g);
+        usize components = 0;
+        for (vidx v = 0; v < g.num_vertices(); ++v) {
+          components += (res.labels[v] == v);
+        }
+        r.summary = summary_line("CC: %zu components", components);
+        r.modeled_cycles = res.modeled_cycles;
+        r.checksum = checksum_of(res.labels);
+        if (req.verify) verified = algos::cc::verify(g, res.labels);
+        break;
+      }
+      case Algo::kGc: {
+        const auto res = algos::gc::run(dev, g);
+        r.summary = summary_line(
+            "GC: %u colors in %llu rounds", res.num_colors,
+            static_cast<unsigned long long>(res.host_iterations));
+        r.modeled_cycles = res.modeled_cycles;
+        r.checksum = checksum_of(res.colors);
+        if (req.verify) verified = algos::gc::verify(g, res.colors);
+        break;
+      }
+      case Algo::kMis: {
+        const auto res = algos::mis::run(dev, g);
+        r.summary = summary_line("MIS: |S| = %zu", res.set_size);
+        r.modeled_cycles = res.modeled_cycles;
+        r.checksum = checksum_of(res.status);
+        if (req.verify) verified = algos::mis::verify(g, res.status);
+        break;
+      }
+      case Algo::kMst: {
+        const auto res = algos::mst::run(dev, g);
+        r.summary = summary_line(
+            "MST: weight %llu over %zu edges",
+            static_cast<unsigned long long>(res.total_weight), res.mst_edges);
+        r.modeled_cycles = res.modeled_cycles;
+        r.checksum = checksum_of(res.in_mst);
+        if (req.verify) verified = algos::mst::verify(g, res);
+        break;
+      }
+      case Algo::kScc: {
+        const auto res = algos::scc::run(dev, g);
+        r.summary = summary_line("SCC: %zu components in m = %u rounds",
+                                 res.num_sccs, res.outer_iterations);
+        r.modeled_cycles = res.modeled_cycles;
+        r.checksum = checksum_of(res.scc_id);
+        if (req.verify) verified = algos::scc::verify(g, res.scc_id);
+        break;
+      }
+    }
+    session.reset();  // write the per-request artifacts before responding
+    ECLP_CHECK_MSG(verified, "request " << req.id
+                                        << ": verification FAILED");
+    r.status = Status::kOk;
+  } catch (const std::exception& e) {
+    r.status = Status::kError;
+    r.error = e.what();
+  }
+  r.wall_ms = static_cast<double>(monotonic_ns() - submit_ns) / 1e6;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (r.status == Status::kOk) {
+      stats_.completed++;
+    } else {
+      stats_.failed++;
+    }
+  }
+  return r;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    s = stats_;
+  }
+  s.graphs = graphs_.stats();
+  return s;
+}
+
+}  // namespace eclp::serve

@@ -1,0 +1,121 @@
+// Concurrent serving of analytics requests over shared graphs.
+//
+// The one-shot CLI (tools/eclp_run.cpp) pays graph acquisition and process
+// startup per run; the Server executes many requests inside one process:
+//
+//   submit/serve            bounded pending queue (admission control)
+//     └─ dispatcher thread  swaps the queue into a wave
+//         └─ Pool::run      work-stealing execution, one task per request
+//             └─ execute()  per-request Device + optional profile::Session
+//                           over a graph::Pool::Pin on the shared CSR
+//
+// Isolation model: every request gets its own sim::Device (own PRNG
+// stream, cycle counter, atomic tallies) and, when profiling, its own
+// Session — the only state shared between in-flight requests is the
+// immutable pooled CSR and the mutex-guarded pool/cache bookkeeping.
+// Modeled results are therefore bit-identical to the same run issued
+// through the one-shot CLI, independent of serving thread count or of
+// which requests happen to run concurrently (pinned by the serve goldens
+// and tests/serve_test.cpp).
+//
+// Admission control: the pending queue is bounded by max_queue. submit()
+// rejects above the bound with a typed Status::kRejected response;
+// enqueue()/serve() apply backpressure instead (block until space). The
+// in-flight wave is bounded by the same constant, so a flooded server
+// degrades by rejecting, not by queue growth.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/pool.hpp"
+#include "serve/request.hpp"
+#include "support/pool.hpp"
+
+namespace eclp::serve {
+
+struct ServerOptions {
+  /// Worker slots of the shared execution pool (0 = one per hardware
+  /// thread). The dispatcher participates as worker 0 while a wave runs,
+  /// so this is the concurrency bound on in-flight requests.
+  u32 threads = 0;
+  /// Pending-queue bound: submit() rejects once this many requests wait.
+  usize max_queue = 256;
+  /// Byte budget of the in-process graph pool (LRU above it).
+  u64 graph_pool_bytes = u64{512} << 20;
+  /// When non-empty, every request records a profile::Session written to
+  /// <profile_dir>/<id>.json (+ the Perfetto twin). See docs/SERVING.md.
+  std::string profile_dir;
+  /// Do not start the dispatcher in the constructor; callers fill the
+  /// queue first and call start(). Deterministic admission for tests.
+  bool manual_start = false;
+};
+
+struct ServerStats {
+  u64 submitted = 0;  ///< submit/enqueue calls
+  u64 accepted = 0;   ///< admitted to the queue
+  u64 rejected = 0;   ///< bounced by admission control
+  u64 completed = 0;  ///< executed with Status::kOk
+  u64 failed = 0;     ///< executed with Status::kError
+  graph::PoolStats graphs;  ///< in-process graph pool counters
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Drains the queue (every accepted request completes), then joins.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Non-blocking admission: the future is always valid; when the queue
+  /// is full it is already fulfilled with a Status::kRejected response.
+  std::future<Response> submit(Request req);
+  /// Blocking admission: waits for queue space instead of rejecting.
+  std::future<Response> enqueue(Request req);
+  /// Serve a whole batch with backpressure; responses in request order.
+  std::vector<Response> serve(std::vector<Request> requests);
+
+  /// Start the dispatcher (only needed with ServerOptions::manual_start).
+  void start();
+
+  ServerStats stats() const;
+  const graph::Pool& graph_pool() const { return graphs_; }
+  u32 threads() const { return exec_pool_.size(); }
+
+  /// The pool key of a request's algorithm-ready graph: source (suite
+  /// name + scale, or file path), directedness as the algorithm wants it,
+  /// and the MST weight attachment. Exposed for tests.
+  static std::string graph_key(const Request& req);
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    u64 submit_ns = 0;
+  };
+
+  void dispatcher_main();
+  Response execute(const Request& req, u64 submit_ns);
+  graph::Csr build_graph(const Request& req) const;
+
+  ServerOptions options_;
+  Pool exec_pool_;       ///< shared work-stealing pool (one task = one request)
+  graph::Pool graphs_;   ///< shared ref-counted CSR pool
+
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;  ///< dispatcher: work available
+  std::condition_variable space_cv_;    ///< enqueue(): queue has room
+  std::deque<Job> pending_;
+  bool stop_ = false;
+  bool started_ = false;
+  ServerStats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace eclp::serve

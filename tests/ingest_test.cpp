@@ -270,6 +270,111 @@ TEST(ChunkedParse, MalformedLinesStillRejectedWhenParallel) {
   EXPECT_THROW(graph::parse_edge_list(text), CheckFailure);
 }
 
+// --- adversarial text layouts ------------------------------------------------
+
+/// Rewrite rendered graph text into a hostile-but-legal layout: long
+/// comment runs (lines far wider than the average data line, so chunk
+/// boundaries land inside them and chunk_at_lines has to scan forward),
+/// CRLF line endings, and no trailing newline on the final data line.
+/// `comment` is the format's comment lead-in; `body_comments` is false for
+/// Matrix Market, whose entry body may not contain comment lines.
+std::string adversarial_layout(const std::string& text, char comment,
+                               bool body_comments) {
+  const std::string long_comment =
+      std::string(1, comment) + " " + std::string(700, 'x');
+  std::string out;
+  out.reserve(text.size() * 2);
+  usize line_no = 0;
+  usize begin = 0;
+  while (begin < text.size()) {
+    usize end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    out.append(text, begin, end - begin);
+    out += "\r\n";
+    ++line_no;
+    // A run of oversized comments after the first line (banner/header) and
+    // periodically through the body when the format allows them there.
+    if (line_no == 1 || (body_comments && line_no % 37 == 0)) {
+      for (u32 r = 0; r < 3; ++r) out += long_comment + "\r\n";
+    }
+    begin = end + 1;
+  }
+  // Drop the final newline: the last line arrives unterminated.
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+/// Property test: random graphs rendered in all four text formats, then
+/// re-serialized into adversarial layouts, must parse to byte-identical
+/// CSRs at 1/2/7 ingest threads — and identical to the serial parse of the
+/// pristine rendering (comments, CRLF, and missing trailing newlines are
+/// presentation, not content).
+TEST(ChunkedParse, AdversarialLayoutsMatchSerialPristineParse) {
+  IngestConfigGuard guard;
+  graph::set_parallel_build_min_edges(1);
+
+  for (const u64 seed : {3u, 11u, 29u}) {
+    const vidx n = 400 + static_cast<vidx>(seed) * 97;
+    const auto undirected = gen::uniform_random(n, 4 * n, seed);
+    const auto weighted = graph::with_random_weights(undirected, seed + 1);
+
+    struct Case {
+      const char* name;
+      std::string pristine;
+      char comment;
+      bool body_comments;
+      std::function<graph::Csr(const std::string&)> parse;
+    };
+    std::vector<Case> cases;
+    {
+      std::stringstream ss;
+      graph::write_matrix_market(undirected, ss);
+      cases.push_back({"mtx", ss.str(), '%', false, [](const std::string& t) {
+                         return graph::parse_matrix_market(t);
+                       }});
+    }
+    {
+      std::stringstream ss;
+      graph::write_edge_list(undirected, ss);
+      cases.push_back({"el", ss.str(), '#', true, [n](const std::string& t) {
+                         return graph::parse_edge_list(t, false, n);
+                       }});
+    }
+    {
+      std::stringstream ss;
+      graph::write_dimacs_sp(weighted, ss);
+      cases.push_back({"gr", ss.str(), 'c', true, [](const std::string& t) {
+                         return graph::parse_dimacs_sp(t, true);
+                       }});
+    }
+    {
+      std::stringstream ss;
+      graph::write_dimacs_col(undirected, ss);
+      cases.push_back({"col", ss.str(), 'c', true, [](const std::string& t) {
+                         return graph::parse_dimacs_col(t);
+                       }});
+    }
+
+    for (const Case& c : cases) {
+      const std::string hostile =
+          adversarial_layout(c.pristine, c.comment, c.body_comments);
+      ASSERT_NE(hostile, c.pristine);
+      set_build_threads(1);
+      const std::string reference = bytes_of(c.parse(c.pristine));
+      EXPECT_EQ(bytes_of(c.parse(hostile)), reference)
+          << c.name << " seed " << seed << " serial adversarial parse";
+      for (const u32 threads : {2u, 7u}) {
+        set_build_threads(threads);
+        EXPECT_EQ(bytes_of(c.parse(hostile)), reference)
+            << c.name << " seed " << seed << " at " << threads
+            << " build threads";
+      }
+    }
+  }
+}
+
 // --- content-addressed cache -------------------------------------------------
 
 TEST(GraphCache, HitReturnsGraphEqualToFreshBuild) {
@@ -357,6 +462,56 @@ TEST(GraphCache, CorruptEntryFallsBackToRebuild) {
   // The rebuild re-stored the entry, so a third load hits again.
   graph::load_any(path.string());
   EXPECT_GE(graph::cache_stats().hits, 1u);
+}
+
+/// The corrupt-store warning is deduplicated per *entry path*, not once
+/// per process: a long-lived serving process that trips over two distinct
+/// damaged entries must say so for each of them (while still not spamming
+/// a warning per retry of the same entry).
+TEST(GraphCache, WarnsOncePerCorruptEntryPathNotOncePerProcess) {
+  IngestConfigGuard guard;
+  ScratchCache cache("eclp_ingest_cache_warn_paths");
+
+  const auto path_a = cache.dir() / "a.el";
+  const auto path_b = cache.dir() / "b.el";
+  std::filesystem::create_directories(cache.dir());
+  {
+    std::ofstream os(path_a);
+    graph::write_edge_list(gen::uniform_random(100, 400, 1), os);
+  }
+  {
+    std::ofstream os(path_b);
+    graph::write_edge_list(gen::uniform_random(100, 400, 2), os);
+  }
+  graph::load_any(path_a.string());
+  graph::load_any(path_b.string());
+
+  const auto corrupt_all = [&] {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(cache.dir())) {
+      if (entry.path().extension() == ".eclg") {
+        std::ofstream os(entry.path(), std::ios::binary | std::ios::trunc);
+        os << "garbage";
+      }
+    }
+  };
+
+  graph::reset_cache_warnings();
+  ASSERT_EQ(graph::cache_warned_paths(), 0u);
+
+  corrupt_all();
+  graph::load_any(path_a.string());
+  EXPECT_EQ(graph::cache_warned_paths(), 1u);
+
+  // Same entry corrupt again: already-warned, no second warning path.
+  corrupt_all();
+  graph::load_any(path_a.string());
+  EXPECT_EQ(graph::cache_warned_paths(), 1u);
+
+  // A *different* corrupt entry must still get its own warning.
+  graph::load_any(path_b.string());
+  EXPECT_EQ(graph::cache_warned_paths(), 2u);
+  EXPECT_GE(graph::cache_stats().corrupt, 3u);
 }
 
 TEST(GraphCache, DisabledCacheTouchesNothing) {

@@ -1,0 +1,161 @@
+# Serving smoke check, run as `cmake -P` by the serve-smoke ctest label.
+#
+# Inputs (all -D): ECLP_SERVE, ECLP_PROFILE_DIFF (tool paths), WORK_DIR
+# (scratch directory, recreated every run).
+#
+# Steps:
+#  1. cold -> warm pool: serve a mixed request file with --repeat=2; the
+#     second round must be served entirely from the in-process graph pool
+#     (hits == misses' round worth, checked via --stats-json), and both
+#     rounds must produce identical deterministic response lines;
+#  2. determinism: the same requests served at 1 and at 7 threads must
+#     write byte-identical response files;
+#  3. rejection on overload: --admission=reject with a 1-thread server and
+#     a queue bound of 1 must bounce at least one request with the typed
+#     "rejected" status while still exiting 0 (overload is not failure);
+#  4. profile self-diff: a served run with --profile-dir writes one
+#     eclp.profile artifact per request; eclp-profile-diff between two
+#     servings of the same request must report zero regressions.
+foreach(var ECLP_SERVE ECLP_PROFILE_DIFF WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "serve_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(requests "${WORK_DIR}/requests.jsonl")
+file(WRITE "${requests}" [=[
+# serve-smoke request mix: every algorithm, shared graphs across requests
+{"id": "cc-rmat", "algo": "cc", "input": "rmat16.sym", "scale": "tiny"}
+{"id": "gc-rmat", "algo": "gc", "input": "rmat16.sym", "scale": "tiny"}
+{"id": "mis-inet", "algo": "mis", "input": "internet", "scale": "tiny", "seed": 7}
+{"id": "mst-road", "algo": "mst", "input": "USA-road-d.NY", "scale": "tiny"}
+{"id": "scc-cold", "algo": "scc", "input": "cold-flow", "scale": "tiny"}
+]=])
+
+# --- 1. cold -> warm pool ----------------------------------------------------
+execute_process(
+  COMMAND "${ECLP_SERVE}" --requests=${requests} --threads=4 --repeat=2
+          --verify --out=${WORK_DIR}/repeat.jsonl
+          --stats-json=${WORK_DIR}/stats.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "repeat serving failed (${rc}):\n${out}\n${err}")
+endif()
+
+file(READ "${WORK_DIR}/stats.json" stats)
+string(JSON completed GET "${stats}" completed)
+string(JSON failed GET "${stats}" failed)
+string(JSON pool_hits GET "${stats}" graph_pool hits)
+string(JSON pool_misses GET "${stats}" graph_pool misses)
+if(NOT completed EQUAL 10 OR NOT failed EQUAL 0)
+  message(FATAL_ERROR "expected 10 completed / 0 failed, got "
+          "${completed} / ${failed}:\n${stats}")
+endif()
+# 5 distinct requests over 4 distinct graphs (cc and gc share rmat16.sym):
+# round one is 4 misses + 1 hit, round two is served warm — 6 hits total.
+if(NOT pool_misses EQUAL 4 OR NOT pool_hits EQUAL 6)
+  message(FATAL_ERROR "expected 6 pool hits / 4 misses over two rounds, got "
+          "${pool_hits} / ${pool_misses}:\n${stats}")
+endif()
+
+# The warm round's deterministic lines must equal the cold round's.
+file(READ "${WORK_DIR}/repeat.jsonl" repeat_body)
+string(REPLACE "\n" ";" repeat_lines "${repeat_body}")
+list(LENGTH repeat_lines n_lines)
+if(n_lines LESS 10)
+  message(FATAL_ERROR "expected 10 response lines, got ${n_lines}")
+endif()
+foreach(i RANGE 0 4)
+  math(EXPR j "${i} + 5")
+  list(GET repeat_lines ${i} cold_line)
+  list(GET repeat_lines ${j} warm_line)
+  if(NOT cold_line STREQUAL warm_line)
+    message(FATAL_ERROR "warm round diverged from cold round:\n"
+            "  cold: ${cold_line}\n  warm: ${warm_line}")
+  endif()
+endforeach()
+
+# --- 2. determinism across serving thread counts -----------------------------
+foreach(threads 1 7)
+  execute_process(
+    COMMAND "${ECLP_SERVE}" --requests=${requests} --threads=${threads}
+            --out=${WORK_DIR}/t${threads}.jsonl
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "serving at ${threads} threads failed (${rc}):\n${out}\n${err}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/t1.jsonl" "${WORK_DIR}/t7.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "responses differ between 1 and 7 serving threads")
+endif()
+
+# --- 3. rejection on overload ------------------------------------------------
+set(flood "${WORK_DIR}/flood.jsonl")
+set(flood_body "")
+foreach(i RANGE 0 31)
+  string(APPEND flood_body
+         "{\"id\": \"f${i}\", \"algo\": \"cc\", \"input\": \"rmat16.sym\"}\n")
+endforeach()
+file(WRITE "${flood}" "${flood_body}")
+execute_process(
+  COMMAND "${ECLP_SERVE}" --requests=${flood} --threads=1 --max-queue=1
+          --admission=reject --out=${WORK_DIR}/flood_out.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "overloaded serving must still exit 0 (${rc}):\n${out}\n${err}")
+endif()
+file(READ "${WORK_DIR}/flood_out.jsonl" flood_out)
+string(REGEX MATCHALL "\"status\":\"rejected\"" rejections "${flood_out}")
+list(LENGTH rejections n_rejected)
+if(n_rejected EQUAL 0)
+  message(FATAL_ERROR "flooding a 1-slot queue produced no rejections:\n${out}")
+endif()
+string(REGEX MATCH "queue full" typed_error "${flood_out}")
+if(NOT typed_error)
+  message(FATAL_ERROR "rejections lack the typed queue-full error")
+endif()
+
+# --- 4. profile self-diff of a served run ------------------------------------
+foreach(tag a b)
+  execute_process(
+    COMMAND "${ECLP_SERVE}" --requests=${requests} --threads=4
+            --profile-dir=${WORK_DIR}/prof_${tag}
+            --out=${WORK_DIR}/prof_${tag}.jsonl
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "profiled serving failed (${rc}):\n${out}\n${err}")
+  endif()
+endforeach()
+foreach(id cc-rmat gc-rmat mis-inet mst-road scc-cold)
+  foreach(tag a b)
+    if(NOT EXISTS "${WORK_DIR}/prof_${tag}/${id}.json")
+      message(FATAL_ERROR "served run did not write prof_${tag}/${id}.json")
+    endif()
+  endforeach()
+endforeach()
+execute_process(
+  COMMAND "${ECLP_PROFILE_DIFF}" --check=${WORK_DIR}/prof_a/cc-rmat.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "served profile failed schema validation (${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND "${ECLP_PROFILE_DIFF}" "${WORK_DIR}/prof_a/cc-rmat.json"
+          "${WORK_DIR}/prof_b/cc-rmat.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "self-diff of a served request reported regressions "
+          "(${rc}):\n${out}\n${err}")
+endif()
+
+message(STATUS "serve smoke: ok")

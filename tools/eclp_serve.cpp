@@ -1,0 +1,185 @@
+// eclp-serve — concurrent batch/serving driver: execute a JSONL request
+// file over shared pooled graphs.
+//
+//   $ eclp-serve --requests=reqs.jsonl --threads=4 --out=results.jsonl
+//   $ eclp-serve --requests=reqs.jsonl --repeat=3          # warm-pool rounds
+//   $ eclp-serve --requests=reqs.jsonl --admission=reject --max-queue=8
+//
+// Each request line is (algorithm, graph spec, seed, options) — see
+// docs/SERVING.md for the schema. Requests execute concurrently with
+// per-request Device/Session isolation over a shared work-stealing pool;
+// graphs are pinned in an in-process ref-counted pool (LRU under
+// --pool-mb) promoted from the on-disk --graph-cache when one is set.
+// Results are emitted in request order, so the default (modeled-only)
+// output is byte-stable across thread counts — the serving counterpart of
+// the repo's determinism goldens. --timing adds wall-clock latency and
+// pool hit/miss per response.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/cache.hpp"
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+#include "support/parallel_for.hpp"
+#include "support/timer.hpp"
+
+using namespace eclp;
+
+namespace {
+
+json::Value stats_json(const serve::ServerStats& s) {
+  json::Value v = json::Value::object();
+  v.set("submitted", s.submitted);
+  v.set("accepted", s.accepted);
+  v.set("rejected", s.rejected);
+  v.set("completed", s.completed);
+  v.set("failed", s.failed);
+  json::Value g = json::Value::object();
+  g.set("requests", s.graphs.requests);
+  g.set("hits", s.graphs.hits);
+  g.set("misses", s.graphs.misses);
+  g.set("evictions", s.graphs.evictions);
+  g.set("bytes", s.graphs.bytes);
+  g.set("peak_bytes", s.graphs.peak_bytes);
+  g.set("entries", s.graphs.entries);
+  g.set("pins", s.graphs.pins);
+  v.set("graph_pool", std::move(g));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("requests", "JSONL request file (see docs/SERVING.md)", "");
+  cli.add_option("out", "results JSONL destination (default: stdout)", "");
+  cli.add_option("threads",
+                 "serving worker threads (0 = one per hardware thread)", "0");
+  cli.add_option("max-queue",
+                 "admission bound on pending requests (queue-full rejects "
+                 "under --admission=reject)",
+                 "256");
+  cli.add_option("pool-mb", "graph pool byte budget, in MiB", "512");
+  cli.add_option("repeat",
+                 "serve the request list this many times (later rounds hit "
+                 "the warm pool)",
+                 "1");
+  cli.add_option("admission",
+                 "wait (backpressure) | reject (typed queue-full responses)",
+                 "wait");
+  cli.add_option("profile-dir",
+                 "write a per-request profiling session (eclp.profile JSON + "
+                 "Perfetto trace) under this directory",
+                 "");
+  cli.add_option("stats-json", "write server/pool stats JSON to this path",
+                 "");
+  cli.add_option("build-threads",
+                 "host threads for parallel graph ingest (0 = one per "
+                 "hardware thread; overrides ECLP_BUILD_THREADS)",
+                 "");
+  cli.add_option("graph-cache",
+                 "content-addressed .eclg cache directory promoted into the "
+                 "in-process pool; overrides ECLP_GRAPH_CACHE",
+                 "");
+  cli.add_flag("timing",
+               "add wall_ms + pool hit/miss to each response (scheduling-"
+               "dependent, so off by default to keep output deterministic)");
+  cli.add_flag("verify",
+               "check every result against its sequential reference");
+  cli.add_flag("help", "show usage");
+  cli.parse(argc, argv);
+  if (cli.get_flag("help")) {
+    std::printf("%s", cli.usage("eclp-serve").c_str());
+    return 0;
+  }
+
+  ECLP_CHECK_MSG(!cli.get("requests").empty(),
+                 "pass --requests=<file.jsonl>");
+  if (!cli.get("build-threads").empty()) {
+    set_build_threads(static_cast<u32>(cli.get_int("build-threads")));
+  }
+  if (!cli.get("graph-cache").empty()) {
+    graph::set_cache_dir(cli.get("graph-cache"));
+  }
+
+  std::ifstream is(cli.get("requests"));
+  ECLP_CHECK_MSG(is.good(), "cannot open " << cli.get("requests"));
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::vector<serve::Request> requests =
+      serve::parse_requests_jsonl(buffer.str());
+  ECLP_CHECK_MSG(!requests.empty(),
+                 cli.get("requests") << " contains no requests");
+  if (cli.get_flag("verify")) {
+    for (serve::Request& r : requests) r.verify = true;
+  }
+
+  serve::ServerOptions options;
+  options.threads = static_cast<u32>(cli.get_int("threads"));
+  options.max_queue = static_cast<usize>(cli.get_int("max-queue"));
+  options.graph_pool_bytes = static_cast<u64>(cli.get_int("pool-mb")) << 20;
+  options.profile_dir = cli.get("profile-dir");
+  const std::string admission = cli.get("admission");
+  ECLP_CHECK_MSG(admission == "wait" || admission == "reject",
+                 "--admission must be wait or reject");
+
+  serve::Server server(options);
+  const i64 repeat = std::max<i64>(1, cli.get_int("repeat"));
+  std::vector<serve::Response> responses;
+  Timer wall;
+  for (i64 round = 0; round < repeat; ++round) {
+    if (admission == "wait") {
+      auto batch = server.serve(requests);
+      responses.insert(responses.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+    } else {
+      std::vector<std::future<serve::Response>> futures;
+      futures.reserve(requests.size());
+      for (const serve::Request& r : requests) futures.push_back(
+          server.submit(r));
+      for (auto& f : futures) responses.push_back(f.get());
+    }
+  }
+  const double total_ms = wall.milliseconds();
+
+  const std::string jsonl =
+      serve::responses_to_jsonl(responses, cli.get_flag("timing"));
+  if (cli.get("out").empty()) {
+    std::fputs(jsonl.c_str(), stdout);
+  } else {
+    std::ofstream os(cli.get("out"));
+    ECLP_CHECK_MSG(os.good(), "cannot write " << cli.get("out"));
+    os << jsonl;
+  }
+
+  const serve::ServerStats stats = server.stats();
+  const double hit_rate =
+      stats.graphs.requests == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.graphs.hits) /
+                static_cast<double>(stats.graphs.requests);
+  std::printf(
+      "served %zu responses in %.1f ms (%.1f req/s) on %u threads: "
+      "%llu ok, %llu failed, %llu rejected\n",
+      responses.size(), total_ms, 1e3 * static_cast<double>(responses.size()) / total_ms,
+      server.threads(), static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected));
+  std::printf(
+      "graph pool: %llu hits / %llu misses (%.1f%% hit rate), "
+      "%llu evictions, %.1f MiB resident (peak %.1f)\n",
+      static_cast<unsigned long long>(stats.graphs.hits),
+      static_cast<unsigned long long>(stats.graphs.misses), hit_rate,
+      static_cast<unsigned long long>(stats.graphs.evictions),
+      static_cast<double>(stats.graphs.bytes) / (1 << 20),
+      static_cast<double>(stats.graphs.peak_bytes) / (1 << 20));
+
+  if (!cli.get("stats-json").empty()) {
+    std::ofstream os(cli.get("stats-json"));
+    ECLP_CHECK_MSG(os.good(), "cannot write " << cli.get("stats-json"));
+    os << stats_json(stats).dump(2) << "\n";
+  }
+  return stats.failed == 0 ? 0 : 1;
+}
