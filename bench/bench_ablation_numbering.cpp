@@ -3,10 +3,11 @@
 // The paper observes (§6.1.2) that "signature propagations appear to remain
 // largely localized within thread blocks". That is a property of the mesh
 // *numbering*, not the algorithm: contiguous ids must cover spatially
-// compact patches. This bench reruns ECL-SCC on one mesh under three
-// numberings — the shipped locality-preserving (Morton) order, a BFS
-// (Cuthill-McKee-style) order, and a random order — and reports the block
-// affinity of each numbering, the propagation launches (n) it needs, and
+// compact patches. This bench reruns ECL-SCC on one mesh under the shared
+// reorder suite (graph::reorder_suite() — the same sweep bench_reorder
+// uses, so the two benches cannot drift): the shipped Morton numbering is
+// the "natural" entry, and each other spec relabels it. For every order it
+// reports the block affinity, the propagation launches (n) it needs, and
 // the modeled cost.
 #include "algos/common.hpp"
 #include "algos/scc/ecl_scc.hpp"
@@ -30,19 +31,20 @@ int main(int argc, char** argv) {
     graph::Csr g;
   };
   std::vector<Variant> variants;
-  variants.push_back({"shipped (Morton)", base});
-  variants.push_back({"BFS (Cuthill-McKee)",
-                      graph::relabel(base, graph::order_bfs(base))});
-  variants.push_back(
-      {"random", graph::relabel(base, graph::order_random(base, 13))});
+  for (const graph::ReorderSpec& spec : graph::reorder_suite()) {
+    const std::string name = spec.is_natural() ? "shipped (Morton)"
+                                               : spec.canonical();
+    variants.push_back({name, graph::apply_reorder(base, spec)});
+  }
 
-  Table t("ECL-SCC on " + cli.get("input") + " under three numberings");
+  Table t("ECL-SCC on " + cli.get("input") +
+          " under the shared reorder suite");
   t.set_header({"numbering", "block affinity@512", "total n launches",
                 "modeled cycles", "slowdown"});
   u64 baseline_cycles = 0;
   std::vector<vidx> expected;
   for (const auto& variant : variants) {
-    auto dev = harness::make_device();
+    auto dev = harness::make_device(ctx);
     algos::scc::Options opt;
     opt.record_series = true;
     const auto res = algos::scc::run(dev, variant.g, opt);

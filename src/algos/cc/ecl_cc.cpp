@@ -111,6 +111,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   res.profile = Profile{};
   Profile& prof = res.profile;
   std::vector<vidx> nstat(n);
+  dev.register_buffer(nstat);
 
   const u64 cycles_before = dev.total_cycles();
   if (opt.record_per_vertex_traversals) {

@@ -101,6 +101,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // --- initialization: LDF DAG + possible-color bitmaps ----------------------
   // DAG in-neighbors (higher-priority endpoints) per vertex, flattened.
   std::vector<u32> indeg(n, 0);
+  dev.register_buffer(indeg);
   std::vector<eidx> dag_off(static_cast<usize>(n) + 1, 0);
   // Both init kernels are pure per-vertex maps (each thread fills only its
   // own vertices' slots), so they run block-parallel; the coloring rounds
@@ -121,6 +122,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
              });
   for (vidx v = 0; v < n; ++v) dag_off[v + 1] = dag_off[v] + indeg[v];
   std::vector<vidx> dag_in(dag_off[n]);
+  dev.register_buffer(dag_in);
   std::vector<u8> dep_removed(dag_off[n], 0);  // Shortcut 2 edge removal
   dev.launch("gc_init_dag", init_cfg,
              [&](sim::ThreadCtx& ctx) {

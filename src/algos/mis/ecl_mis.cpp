@@ -50,6 +50,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
 
   Result res;
   std::vector<u8> stat(n);
+  dev.register_buffer(stat);
   const u64 cycles_before = dev.total_cycles();
 
   // --- initialization: one-byte status+priority per vertex -------------------
@@ -94,6 +95,7 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   // state published at the previous round boundary (see Options::Visibility).
   const bool jacobi = opt.visibility == Visibility::kRoundSnapshot;
   std::vector<u8> snap = stat;
+  dev.register_buffer(snap);
   const std::vector<u8>& view = jacobi ? snap : stat;
 
   const u64 quantum = opt.quantum;

@@ -76,11 +76,14 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
 
   Result res;
   res.in_mst.assign(num_edges, 0);
+  dev.register_buffer(res.in_mst);
   const u64 cycles_before = dev.total_cycles();
 
   // --- initialization ---------------------------------------------------------
   std::vector<vidx> parent(n);
   std::vector<u64> best(n, kNoBest);
+  dev.register_buffer(parent);
+  dev.register_buffer(best);
   // Pure per-vertex map — block-independent, unlike the K1-K3 rounds below,
   // whose atomicMin winners depend on cross-block visibility.
   sim::LaunchConfig init_cfg =

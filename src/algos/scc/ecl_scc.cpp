@@ -40,6 +40,11 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   std::vector<vidx> vin(n), vout(n);
   std::vector<u8> settled(n, 0);
   std::vector<u8> alive(num_arcs, 1);
+  dev.register_buffer(res.scc_id);
+  dev.register_buffer(vin);
+  dev.register_buffer(vout);
+  dev.register_buffer(settled);
+  dev.register_buffer(alive);
 
   const u64 prop_threads =
       std::max<u64>(1, (num_arcs + opt.edges_per_thread - 1) /

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "graph/cache.hpp"
+#include "graph/transforms.hpp"
+
 namespace eclp::graph {
 
 std::vector<vidx> order_by_degree_desc(const Csr& g) {
@@ -81,6 +84,243 @@ std::vector<vidx> order_morton_grid(u32 side) {
     perm[keyed[rank].second] = rank;
   }
   return perm;
+}
+
+std::vector<vidx> order_hub(const Csr& g) {
+  const vidx n = g.num_vertices();
+  std::vector<vidx> perm(n);
+  if (n == 0) return perm;
+  // A hub is a vertex whose degree strictly exceeds the mean degree.
+  const double mean = static_cast<double>(g.num_edges()) /
+                      static_cast<double>(n);
+  std::vector<vidx> hubs;
+  for (vidx v = 0; v < n; ++v) {
+    if (static_cast<double>(g.degree(v)) > mean) hubs.push_back(v);
+  }
+  std::stable_sort(hubs.begin(), hubs.end(), [&](vidx a, vidx b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  vidx rank = 0;
+  for (const vidx v : hubs) perm[v] = rank++;
+  // Tail keeps its original relative order (perm stays monotone on it).
+  std::vector<bool> is_hub(n, false);
+  for (const vidx v : hubs) is_hub[v] = true;
+  for (vidx v = 0; v < n; ++v) {
+    if (!is_hub[v]) perm[v] = rank++;
+  }
+  return perm;
+}
+
+std::vector<vidx> order_hub_cluster(const Csr& g) {
+  const vidx n = g.num_vertices();
+  std::vector<vidx> perm(n);
+  if (n == 0) return perm;
+  // Bucket index = floor(log2(degree + 1)): 0 holds isolated vertices,
+  // each higher bucket doubles the degree range. Emit hottest bucket first.
+  const auto bucket_of = [&](vidx v) {
+    u32 b = 0;
+    for (u64 d = static_cast<u64>(g.degree(v)) + 1; d > 1; d >>= 1) ++b;
+    return b;
+  };
+  u32 max_bucket = 0;
+  std::vector<u32> bucket(n);
+  for (vidx v = 0; v < n; ++v) {
+    bucket[v] = bucket_of(v);
+    max_bucket = std::max(max_bucket, bucket[v]);
+  }
+  vidx rank = 0;
+  for (u32 b = max_bucket + 1; b-- > 0;) {
+    for (vidx v = 0; v < n; ++v) {
+      if (bucket[v] == b) perm[v] = rank++;
+    }
+  }
+  return perm;
+}
+
+std::vector<vidx> order_gorder(const Csr& g, u32 window) {
+  ECLP_CHECK(window >= 1);
+  const vidx n = g.num_vertices();
+  std::vector<vidx> perm(n, kNoVertex);
+  if (n == 0) return perm;
+  // Sibling expansion through a high-degree vertex would make the greedy
+  // pass quadratic on power-law graphs; skip it there (Gorder §5.3).
+  const u64 hub_cap = std::max<u64>(
+      64, 8 * (static_cast<u64>(g.num_edges()) / std::max<vidx>(n, 1)));
+
+  std::vector<i64> score(n, 0);
+  std::vector<bool> placed(n, false);
+  // Lazy max-heap of (score, ~id): highest score first, ties to lowest id.
+  // Stale entries (stored score != current) are re-pushed with the current
+  // score on pop, so the true maximum is always discoverable.
+  std::priority_queue<std::pair<i64, vidx>> heap;
+  const auto push = [&](vidx v) { heap.push({score[v], ~v}); };
+
+  // Add (+1) or remove (-1) vertex u's affinity contributions: +delta to
+  // every unplaced direct neighbor, and +delta to every unplaced sibling
+  // reachable through a non-hub shared neighbor.
+  const auto contribute = [&](vidx u, i64 delta) {
+    for (const vidx nb : g.neighbors(u)) {
+      if (!placed[nb]) {
+        score[nb] += delta;
+        if (delta > 0) push(nb);
+      }
+      if (g.degree(nb) > hub_cap) continue;
+      for (const vidx sib : g.neighbors(nb)) {
+        if (sib == u || placed[sib]) continue;
+        score[sib] += delta;
+        if (delta > 0) push(sib);
+      }
+    }
+  };
+
+  std::vector<vidx> order;  // placement sequence (order[rank] = old id)
+  order.reserve(n);
+  vidx next_fallback = 0;  // lowest id not yet known to be placed
+  for (vidx rank = 0; rank < n; ++rank) {
+    vidx pick = kNoVertex;
+    while (!heap.empty()) {
+      const auto [s, vkey] = heap.top();
+      const vidx v = ~vkey;
+      heap.pop();
+      if (placed[v]) continue;
+      if (s != score[v]) {
+        heap.push({score[v], ~v});
+        continue;
+      }
+      if (s <= 0) break;  // nothing with affinity left; fall back to id order
+      pick = v;
+      break;
+    }
+    if (pick == kNoVertex) {
+      while (placed[next_fallback]) ++next_fallback;
+      pick = next_fallback;
+    }
+    placed[pick] = true;
+    perm[pick] = rank;
+    order.push_back(pick);
+    contribute(pick, +1);
+    if (rank >= window) contribute(order[rank - window], -1);
+  }
+  return perm;
+}
+
+ReorderSpec ReorderSpec::parse(const std::string& spec) {
+  ReorderSpec out;
+  std::string head = spec;
+  std::string arg;
+  if (const usize colon = spec.find(':'); colon != std::string::npos) {
+    head = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+    ECLP_CHECK_MSG(!arg.empty(), "reorder spec '" << spec
+                                                  << "' has an empty argument");
+    for (const char c : arg) {
+      ECLP_CHECK_MSG(c >= '0' && c <= '9', "reorder spec argument must be "
+                                               "numeric, got '"
+                                               << arg << "'");
+    }
+  }
+  if (head.empty() || head == "natural" || head == "none") {
+    out.kind = Kind::kNatural;
+  } else if (head == "random") {
+    out.kind = Kind::kRandom;
+    if (!arg.empty()) out.seed = std::stoull(arg);
+  } else if (head == "bfs") {
+    out.kind = Kind::kBfs;
+  } else if (head == "degree") {
+    out.kind = Kind::kDegree;
+  } else if (head == "hub") {
+    out.kind = Kind::kHub;
+  } else if (head == "hubcluster") {
+    out.kind = Kind::kHubCluster;
+  } else if (head == "gorder") {
+    out.kind = Kind::kGorder;
+    if (!arg.empty()) {
+      out.window = static_cast<u32>(std::stoul(arg));
+      ECLP_CHECK_MSG(out.window >= 1, "gorder window must be >= 1");
+    }
+  } else {
+    ECLP_CHECK_MSG(false, "unknown reorder spec '"
+                              << spec
+                              << "' (expected natural, random[:SEED], bfs, "
+                                 "degree, hub, hubcluster, gorder[:WINDOW])");
+  }
+  ECLP_CHECK_MSG(arg.empty() || out.kind == Kind::kRandom ||
+                     out.kind == Kind::kGorder,
+                 "reorder spec '" << spec << "' does not take an argument");
+  return out;
+}
+
+std::string ReorderSpec::canonical() const {
+  switch (kind) {
+    case Kind::kNatural: return "natural";
+    case Kind::kRandom: return "random:" + std::to_string(seed);
+    case Kind::kBfs: return "bfs";
+    case Kind::kDegree: return "degree";
+    case Kind::kHub: return "hub";
+    case Kind::kHubCluster: return "hubcluster";
+    case Kind::kGorder: return "gorder:" + std::to_string(window);
+  }
+  return "natural";
+}
+
+std::vector<vidx> make_order(const Csr& g, const ReorderSpec& spec) {
+  switch (spec.kind) {
+    case ReorderSpec::Kind::kNatural: {
+      std::vector<vidx> identity(g.num_vertices());
+      for (vidx v = 0; v < g.num_vertices(); ++v) identity[v] = v;
+      return identity;
+    }
+    case ReorderSpec::Kind::kRandom: return order_random(g, spec.seed);
+    case ReorderSpec::Kind::kBfs: return order_bfs(g);
+    case ReorderSpec::Kind::kDegree: return order_by_degree_desc(g);
+    case ReorderSpec::Kind::kHub: return order_hub(g);
+    case ReorderSpec::Kind::kHubCluster: return order_hub_cluster(g);
+    case ReorderSpec::Kind::kGorder: return order_gorder(g, spec.window);
+  }
+  ECLP_CHECK_MSG(false, "unhandled reorder kind");
+  return {};
+}
+
+namespace {
+
+/// Content hash of a CSR for reorder memoization: shape + the raw index
+/// and weight arrays. Two graphs with identical content share relabeled
+/// cache entries regardless of how they were obtained.
+CacheKey csr_content_key(const Csr& g, const ReorderSpec& spec) {
+  CacheKey key;
+  key.mix("eclp-reorder-v1");
+  key.mix_u64(g.num_vertices());
+  key.mix_u64(g.num_edges());
+  const auto mix_span = [&key](const auto& span) {
+    if (span.empty()) {
+      key.mix("");
+      return;
+    }
+    key.mix(std::string_view(reinterpret_cast<const char*>(span.data()),
+                             span.size_bytes()));
+  };
+  mix_span(g.row_offsets());
+  mix_span(g.col_indices());
+  mix_span(g.weights());
+  key.mix(spec.canonical());
+  return key;
+}
+
+}  // namespace
+
+Csr apply_reorder(const Csr& g, const ReorderSpec& spec) {
+  if (spec.is_natural()) return g;
+  return cache_or_build(csr_content_key(g, spec),
+                        [&] { return relabel(g, make_order(g, spec)); });
+}
+
+const std::vector<ReorderSpec>& reorder_suite() {
+  static const std::vector<ReorderSpec> kSuite = {
+      ReorderSpec::parse("natural"), ReorderSpec::parse("random"),
+      ReorderSpec::parse("bfs"),     ReorderSpec::parse("degree"),
+      ReorderSpec::parse("hub"),     ReorderSpec::parse("gorder"),
+  };
+  return kSuite;
 }
 
 double block_affinity(const Csr& g, vidx block_size) {

@@ -119,6 +119,15 @@ BenchContext parse(int argc, const char* const* argv,
                      "skip graph generation/parsing/build; overrides "
                      "ECLP_GRAPH_CACHE",
                      "");
+  ctx.cli.add_option("reorder",
+                     "vertex reordering applied to every input: natural, "
+                     "random[:SEED], bfs, degree, hub, hubcluster, "
+                     "gorder[:WINDOW]",
+                     "natural");
+  ctx.cli.add_option("llc",
+                     "modeled last-level cache: off (default), on, or "
+                     "LINE:WAYS:SETS (e.g. 64:8:64)",
+                     "off");
   ctx.cli.add_flag("help", "show usage");
   ctx.cli.parse(argc, argv);
   if (ctx.cli.get_flag("help")) {
@@ -139,6 +148,8 @@ BenchContext parse(int argc, const char* const* argv,
   if (!ctx.cli.get("graph-cache").empty()) {
     graph::set_cache_dir(ctx.cli.get("graph-cache"));
   }
+  ctx.reorder_spec = graph::ReorderSpec::parse(ctx.cli.get("reorder"));
+  ctx.llc = sim::parse_cache_config(ctx.cli.get("llc"));
   ctx.profile_path = ctx.cli.get("profile");
   if (ctx.profile_path.empty()) {
     // Mirror ECLP_SIM_THREADS: the environment configures what the flag
@@ -188,6 +199,17 @@ void report_correlation(const std::string& label,
 
 sim::Device make_device(u64 seed, sim::ScheduleMode mode) {
   return sim::Device(sim::CostModel{}, seed, mode);
+}
+
+sim::Device make_device(const BenchContext& ctx, u64 seed,
+                        sim::ScheduleMode mode) {
+  sim::CostModel cost;
+  cost.cache = ctx.llc;
+  return sim::Device(cost, seed, mode);
+}
+
+graph::Csr reorder(const BenchContext& ctx, const graph::Csr& g) {
+  return graph::apply_reorder(g, ctx.reorder_spec);
 }
 
 std::unique_ptr<profile::Session> maybe_session(

@@ -14,6 +14,11 @@
 //   --build-threads=<n>          ingest parallelism (ECLP_BUILD_THREADS)
 //   --graph-cache=<dir>          content-addressed graph cache dir
 //                                (ECLP_GRAPH_CACHE) — see docs/INGEST.md
+//   --reorder=<spec>             vertex reordering applied to every input
+//                                (natural|random[:SEED]|bfs|degree|hub|
+//                                hubcluster|gorder[:WINDOW])
+//   --llc=<spec>                 modeled last-level cache (off|on|L:W:S) —
+//                                see docs/SIMULATOR.md "Modeled LLC"
 // and prints the reproduced table plus, where the paper quotes one, the
 // corresponding correlation coefficient.
 #pragma once
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "gen/suite.hpp"
+#include "graph/reorder.hpp"
 #include "profile/session.hpp"
 #include "sim/device.hpp"
 #include "support/cli.hpp"
@@ -40,6 +46,10 @@ struct BenchContext {
   /// --profile destination (or $ECLP_PROFILE); empty = profiling off.
   /// Consumed by maybe_session().
   std::string profile_path;
+  /// --reorder: applied by reorder() to every input the bench obtains.
+  graph::ReorderSpec reorder_spec;
+  /// --llc: modeled-LLC shape baked into every make_device(ctx, ...) call.
+  sim::CacheConfig llc;
   Cli cli;
   /// Tables seen by emit(); the JSON artifact is rewritten from this after
   /// every emit, so it is complete whenever the process exits.
@@ -69,6 +79,17 @@ void report_correlation(const std::string& label,
 sim::Device make_device(u64 seed = 0,
                         sim::ScheduleMode mode =
                             sim::ScheduleMode::kDeterministic);
+
+/// A device honoring the bench's --llc flag (standard cost model
+/// otherwise). Benches that sweep orderings use this so modeled hit/miss
+/// counters appear without per-bench plumbing.
+sim::Device make_device(const BenchContext& ctx, u64 seed = 0,
+                        sim::ScheduleMode mode =
+                            sim::ScheduleMode::kDeterministic);
+
+/// Apply the bench's --reorder spec to `g` (identity for natural); the
+/// relabeled CSR is memoized through the graph cache when one is attached.
+graph::Csr reorder(const BenchContext& ctx, const graph::Csr& g);
 
 /// A profiling session attached to `dev` when the bench was invoked with
 /// --profile=<path> (or ECLP_PROFILE is set); nullptr otherwise. The

@@ -207,6 +207,18 @@ DiffReport diff_profiles(const json::Value& base, const json::Value& cand,
             ck.at("launches").as_number(), options.counter_tolerance_pct);
     compare("kernel/" + name + "/atomics", bk->at("atomics").as_number(),
             ck.at("atomics").as_number(), options.counter_tolerance_pct);
+    // Modeled-LLC misses are optional (emitted only when the cache
+    // classified something); gate them whenever either side recorded any,
+    // treating the absent side as zero. Hits are informational — more hits
+    // are not a regression — so only misses are gated per kernel.
+    const json::Value* bm = bk->find("llc_misses");
+    const json::Value* cm = ck.find("llc_misses");
+    if (bm != nullptr || cm != nullptr) {
+      compare("kernel/" + name + "/llc_misses",
+              bm == nullptr ? 0.0 : bm->as_number(),
+              cm == nullptr ? 0.0 : cm->as_number(),
+              options.counter_tolerance_pct);
+    }
   }
   for (const auto& [name, ck] : cand_kernels) {
     if (base_kernels.count(name) == 0) {
@@ -234,8 +246,14 @@ DiffReport diff_profiles(const json::Value& base, const json::Value& cand,
       report.entries.push_back({"counter/" + name, sides.first->as_number(),
                                 0.0, 0.0, DiffStatus::kRemoved});
     } else {
+      // llc.hits is informational: hit growth usually means *better*
+      // locality (llc.misses carries the regression gate), so it gets an
+      // effectively unlimited tolerance but still shows in the report.
+      const double tolerance = name == "llc.hits"
+                                   ? 1e18
+                                   : options.counter_tolerance_pct;
       compare("counter/" + name, sides.first->as_number(),
-              sides.second->as_number(), options.counter_tolerance_pct);
+              sides.second->as_number(), tolerance);
     }
   }
 

@@ -50,6 +50,8 @@ Session::Session(sim::Device& dev, CounterRegistry* registry, Options options)
       epoch_ns_(monotonic_ns()),
       start_cycles_(dev.total_cycles()),
       start_launches_(dev.kernel_launches()),
+      start_llc_hits_(dev.llc_hits()),
+      start_llc_misses_(dev.llc_misses()),
       atomics_at_start_(dev.atomic_stats()) {
   prev_observer_ = dev_.launch_observer();
   dev_.set_launch_observer(this);
@@ -100,6 +102,8 @@ u32 Session::open_span(std::string name, SpanKind kind) {
   open.span_id = span.id;
   open.atomics_at_open = dev_.atomic_stats().total();
   open.launches_at_open = dev_.kernel_launches();
+  open.llc_hits_at_open = dev_.llc_hits();
+  open.llc_misses_at_open = dev_.llc_misses();
   open.counter_totals = snapshot_counters();
   spans_.push_back(std::move(span));
   stack_.push_back(std::move(open));
@@ -118,6 +122,8 @@ void Session::close_span(u32 id) {
   span.wall_end_ns = monotonic_ns() - epoch_ns_;
   span.atomics = dev_.atomic_stats().total() - open.atomics_at_open;
   span.launches = dev_.kernel_launches() - open.launches_at_open;
+  span.llc_hits = dev_.llc_hits() - open.llc_hits_at_open;
+  span.llc_misses = dev_.llc_misses() - open.llc_misses_at_open;
   if (registry_ != nullptr) {
     // The registry's counter set can only grow, and for_each is name-ordered,
     // so the open snapshot is an ordered subsequence of the close snapshot:
@@ -180,6 +186,8 @@ void Session::on_launch(const sim::KernelStats& stats,
   span.wall_start_ns = event.wall_ns > wall_end ? 0 : wall_end - event.wall_ns;
   span.atomics = event.atomics_delta;
   span.launches = 1;
+  span.llc_hits = event.llc_hits;
+  span.llc_misses = event.llc_misses;
   span.blocks = event.blocks;
   span.threads_per_block = event.threads_per_block;
   span.active_threads = event.active_threads;
@@ -197,6 +205,8 @@ void Session::finalize() {
   finalize_wall_ns_ = monotonic_ns() - epoch_ns_;
   final_cycles_ = dev_.total_cycles();
   final_launches_ = dev_.kernel_launches();
+  final_llc_hits_ = dev_.llc_hits();
+  final_llc_misses_ = dev_.llc_misses();
   atomics_at_end_ = dev_.atomic_stats();
   if (sim::Pool* pool = dev_.pool(); pool != nullptr) {
     workers_ = pool->worker_samples();
@@ -287,6 +297,10 @@ std::string Session::perfetto_json() {
       args.set("active_threads", s.active_threads);
       args.set("idle_threads", s.idle_threads);
       args.set("imbalance", s.imbalance);
+      if (s.llc_hits + s.llc_misses > 0) {
+        args.set("llc_hits", s.llc_hits);
+        args.set("llc_misses", s.llc_misses);
+      }
     } else {
       args.set("launches", s.launches);
       for (const auto& [name, delta] : s.counters) args.set(name, delta);
@@ -295,8 +309,33 @@ std::string Session::perfetto_json() {
     events.push_back(std::move(e));
   };
 
+  // Modeled-LLC counter tracks: one cumulative sample per kernel launch
+  // that classified anything. Emitted from span data (not the registry
+  // sampler) so the tracks line up with kernel span ends exactly; absent
+  // entirely while the cache is disabled.
+  u64 llc_hits_running = 0;
+  u64 llc_misses_running = 0;
+  const auto push_llc_sample = [&](const char* name, u64 ts, u64 total) {
+    json::Value e = json::Value::object();
+    e.set("ph", "C");
+    e.set("pid", u64{1});
+    e.set("ts", ts);
+    e.set("name", name);
+    json::Value args = json::Value::object();
+    args.set("value", total);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  };
+
   for (const Span& s : spans_) {
     push_span(s);
+    if (s.kind == SpanKind::kKernel && s.llc_hits + s.llc_misses > 0) {
+      llc_hits_running += s.llc_hits;
+      llc_misses_running += s.llc_misses;
+      const u64 ts = s.end_cycles - start_cycles_;
+      push_llc_sample("llc.hits", ts, llc_hits_running);
+      push_llc_sample("llc.misses", ts, llc_misses_running);
+    }
     if (s.kind == SpanKind::kKernel && !s.block_cycles.empty() &&
         options_.max_block_tracks > 0 && s.blocks <= options_.max_block_tracks) {
       for (u32 b = 0; b < s.block_cycles.size(); ++b) {
@@ -349,6 +388,15 @@ json::Value Session::profile() {
   totals.set("modeled_cycles", final_cycles_ - start_cycles_);
   totals.set("launches", final_launches_ - start_launches_);
   totals.set("atomics", atomics_at_end_.total() - atomics_at_start_.total());
+  const u64 total_llc_hits = final_llc_hits_ - start_llc_hits_;
+  const u64 total_llc_misses = final_llc_misses_ - start_llc_misses_;
+  // Modeled-LLC fields appear only when the cache classified something, so
+  // cache-off documents (the default, and every committed golden) are
+  // byte-identical to the pre-LLC schema.
+  if (total_llc_hits + total_llc_misses > 0) {
+    totals.set("llc_hits", total_llc_hits);
+    totals.set("llc_misses", total_llc_misses);
+  }
   totals.set("spans", static_cast<u64>(spans_.size()));
   if (options_.record_wall) totals.set("wall_ns", finalize_wall_ns_);
   doc.set("totals", std::move(totals));
@@ -363,6 +411,10 @@ json::Value Session::profile() {
     j.set("start_cycles", s.start_cycles - start_cycles_);
     j.set("cycles", s.cycles());
     j.set("atomics", s.atomics);
+    if (s.llc_hits + s.llc_misses > 0) {
+      j.set("llc_hits", s.llc_hits);
+      j.set("llc_misses", s.llc_misses);
+    }
     if (s.kind != SpanKind::kKernel) j.set("launches", s.launches);
     if (options_.record_wall) j.set("wall_ns", s.wall_ns());
     if (!s.counters.empty()) {
@@ -388,6 +440,8 @@ json::Value Session::profile() {
     u64 atomics = 0;
     u64 active_threads = 0;
     u64 idle_threads = 0;
+    u64 llc_hits = 0;
+    u64 llc_misses = 0;
     double max_imbalance = 0.0;
   };
   std::map<std::string, KernelAgg> by_kernel;
@@ -399,6 +453,8 @@ json::Value Session::profile() {
     agg.atomics += s.atomics;
     agg.active_threads += s.active_threads;
     agg.idle_threads += s.idle_threads;
+    agg.llc_hits += s.llc_hits;
+    agg.llc_misses += s.llc_misses;
     agg.max_imbalance = std::max(agg.max_imbalance, s.imbalance);
   }
   json::Value kernels = json::Value::array();
@@ -410,6 +466,10 @@ json::Value Session::profile() {
     j.set("atomics", agg.atomics);
     j.set("active_threads", agg.active_threads);
     j.set("idle_threads", agg.idle_threads);
+    if (agg.llc_hits + agg.llc_misses > 0) {
+      j.set("llc_hits", agg.llc_hits);
+      j.set("llc_misses", agg.llc_misses);
+    }
     j.set("max_imbalance", agg.max_imbalance);
     kernels.push_back(std::move(j));
   }
@@ -420,6 +480,11 @@ json::Value Session::profile() {
     const u64 delta =
         atomics_at_end_.count(outcome) - atomics_at_start_.count(outcome);
     if (delta != 0) counters.set(name, delta);
+  }
+  // Modeled-LLC session totals, gated like every other counter by diff.
+  if (total_llc_hits + total_llc_misses > 0) {
+    counters.set("llc.hits", total_llc_hits);
+    counters.set("llc.misses", total_llc_misses);
   }
   if (registry_ != nullptr) {
     registry_->for_each([&](const std::string& name, const Counter& c) {

@@ -64,6 +64,10 @@ struct Span {
   // Device deltas over the span.
   u64 atomics = 0;
   u64 launches = 0;
+  // Modeled-LLC deltas over the span; 0/0 (and omitted from every export)
+  // while the cache is disabled, so cache-off artifacts are unchanged.
+  u64 llc_hits = 0;
+  u64 llc_misses = 0;
   /// Registry counter deltas over the span (name-ordered; only counters
   /// that changed). Filled at close when a registry is attached.
   std::vector<std::pair<std::string, u64>> counters;
@@ -152,6 +156,8 @@ class Session : public sim::LaunchObserver {
     u32 span_id = 0;
     u64 atomics_at_open = 0;
     u64 launches_at_open = 0;
+    u64 llc_hits_at_open = 0;
+    u64 llc_misses_at_open = 0;
     /// Registry totals at open, name-ordered (consumed when the span
     /// closes to produce the span's counter deltas).
     std::vector<std::pair<std::string, u64>> counter_totals;
@@ -166,10 +172,14 @@ class Session : public sim::LaunchObserver {
   u64 epoch_ns_ = 0;
   u64 start_cycles_ = 0;
   u64 start_launches_ = 0;
+  u64 start_llc_hits_ = 0;
+  u64 start_llc_misses_ = 0;
   sim::AtomicStats atomics_at_start_;  ///< copy of the device tally at attach
   // Totals frozen at finalize() so exports are stable afterwards.
   u64 final_cycles_ = 0;
   u64 final_launches_ = 0;
+  u64 final_llc_hits_ = 0;
+  u64 final_llc_misses_ = 0;
   sim::AtomicStats atomics_at_end_;
 
   std::vector<Span> spans_;

@@ -71,6 +71,10 @@ Request Request::from_json(const json::Value& v, usize index) {
       req.directed = value.as_bool();
     } else if (key == "verify") {
       req.verify = value.as_bool();
+    } else if (key == "reorder") {
+      req.reorder = value.as_string();
+    } else if (key == "llc") {
+      req.llc = value.as_string();
     } else {
       ECLP_CHECK_MSG(false, "request " << req.id << ": unknown field '"
                             << key << "'");
@@ -97,6 +101,10 @@ json::Value Request::to_json() const {
   if (algo == Algo::kMst) v.set("weights", weights_seed);
   if (directed) v.set("directed", true);
   if (verify) v.set("verify", true);
+  // Emitted only when set, so pre-existing request round-trips (and the
+  // serve goldens) are unchanged.
+  if (!reorder.empty()) v.set("reorder", reorder);
+  if (!llc.empty()) v.set("llc", llc);
   return v;
 }
 
@@ -126,6 +134,12 @@ json::Value Response::to_json(bool timing) const {
   if (status == Status::kOk) {
     v.set("summary", summary);
     v.set("modeled_cycles", modeled_cycles);
+    // LLC fields appear only for cache-enabled requests, keeping
+    // cache-off response lines (and the serve goldens) unchanged.
+    if (llc_hits + llc_misses > 0) {
+      v.set("llc_hits", llc_hits);
+      v.set("llc_misses", llc_misses);
+    }
     v.set("checksum", checksum);
   } else {
     v.set("error", error);

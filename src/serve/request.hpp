@@ -40,6 +40,13 @@ struct Request {
   u64 weights_seed = 42;   ///< MST random-weight seed for unweighted graphs
   bool directed = false;   ///< for edge-list files without inherent direction
   bool verify = false;     ///< check against the sequential reference
+  /// Vertex reordering spec ("" = natural): natural, random[:SEED], bfs,
+  /// degree, hub, hubcluster, gorder[:WINDOW]. Part of the graph pool key —
+  /// reordered graphs never alias natural-order entries.
+  std::string reorder;
+  /// Modeled-LLC spec ("" = off): off, on, or LINE:WAYS:SETS. Changes
+  /// modeled results when enabled, so it is part of the pool key too.
+  std::string llc;
 
   /// Parse one JSONL object. `index` names anonymous requests.
   static Request from_json(const json::Value& v, usize index);
@@ -64,6 +71,8 @@ struct Response {
   std::string error;       ///< reject/error detail (empty when ok)
   std::string summary;     ///< deterministic one-line result (CLI-shaped)
   u64 modeled_cycles = 0;
+  u64 llc_hits = 0;        ///< modeled-LLC split; zero when the cache is off
+  u64 llc_misses = 0;
   std::string checksum;    ///< 32-hex fingerprint of the solution vector
   bool pool_hit = false;   ///< graph served from the in-process pool
   double wall_ms = 0.0;    ///< request latency (admission to completion)

@@ -13,7 +13,9 @@
 #include "gen/suite.hpp"
 #include "graph/cache.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "graph/transforms.hpp"
+#include "sim/cache.hpp"
 #include "profile/session.hpp"
 #include "sim/device.hpp"
 #include "support/timer.hpp"
@@ -171,6 +173,12 @@ std::string Server::graph_key(const Request& req) {
   }
   key.mix_u64(want_directed ? 1 : 0);
   key.mix_u64(req.algo == Algo::kMst ? req.weights_seed : 0);
+  // A reordered graph must never alias a natural-order pool entry; canonical
+  // form so "random" and "random:1" share one entry. The LLC spec does not
+  // change the graph bytes, but it changes every modeled result computed on
+  // the pooled graph — keying it keeps "same key => same response" true.
+  key.mix(graph::ReorderSpec::parse(req.reorder).canonical());
+  key.mix(sim::cache_config_label(sim::parse_cache_config(req.llc)));
   return key.hex();
 }
 
@@ -190,9 +198,13 @@ graph::Csr Server::build_graph(const Request& req) const {
                        " is undirected");
   }
   if (!want_directed && g.directed()) g = graph::symmetrize(g);
+  // Weights before reordering: with_random_weights hashes endpoint ids, so
+  // the weights are permuted with the graph and every reorder of one input
+  // solves an isomorphic weighted problem.
   if (req.algo == Algo::kMst && !g.weighted()) {
     g = graph::with_random_weights(g, req.weights_seed);
   }
+  g = graph::apply_reorder(g, graph::ReorderSpec::parse(req.reorder));
   return g;
 }
 
@@ -207,7 +219,9 @@ Response Server::execute(const Request& req, u64 submit_ns) {
     r.pool_hit = pin.was_hit();
     const graph::Csr& g = *pin;
 
-    sim::Device dev(sim::CostModel{}, req.seed,
+    sim::CostModel cost;
+    cost.cache = sim::parse_cache_config(req.llc);
+    sim::Device dev(cost, req.seed,
                     req.seed == 0 ? sim::ScheduleMode::kDeterministic
                                   : sim::ScheduleMode::kShuffled);
     std::unique_ptr<profile::Session> session;
@@ -218,6 +232,10 @@ Response Server::execute(const Request& req, u64 submit_ns) {
       session->set_meta("algo", algo_name(req.algo));
       session->set_meta("graph", req.graph_label());
       session->set_meta("seed", std::to_string(req.seed));
+      if (!req.reorder.empty()) session->set_meta("reorder", req.reorder);
+      if (cost.cache.enabled) {
+        session->set_meta("llc", sim::cache_config_label(cost.cache));
+      }
       session->set_output(options_.profile_dir + "/" +
                           sanitize_for_filename(req.id) + ".json");
     }
@@ -274,6 +292,8 @@ Response Server::execute(const Request& req, u64 submit_ns) {
         break;
       }
     }
+    r.llc_hits = dev.llc_hits();
+    r.llc_misses = dev.llc_misses();
     session.reset();  // write the per-request artifacts before responding
     ECLP_CHECK_MSG(verified, "request " << req.id
                                         << ": verification FAILED");

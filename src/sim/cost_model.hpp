@@ -27,6 +27,28 @@
 
 namespace eclp::sim {
 
+/// Opt-in modeled last-level cache (LLC). When enabled, every *classified*
+/// global access — ctx.load/ctx.store and the instrumented atomics, i.e.
+/// exactly the scattered traffic whose cost depends on the vertex
+/// numbering — is mapped to a cache line and charged `llc_hit` or
+/// `llc_miss` instead of the flat scattered cost. Streaming accesses
+/// (charge_coalesced_*) and bulk charges (charge_reads/charge_writes)
+/// carry no address and keep their flat costs: on the real GPU they are
+/// prefetch-friendly and layout-insensitive, which is the contrast the
+/// model exists to expose.
+///
+/// The cache is simulated *per thread block* (each block owns a private
+/// slice of the LLC, cold at launch start), so block-independent launches
+/// stay bit-identical for any host worker count — see docs/SIMULATOR.md
+/// ("Modeled LLC") for the determinism argument and why it is off by
+/// default.
+struct CacheConfig {
+  u32 line_bytes = 64;  ///< cache-line size (power of two)
+  u32 ways = 8;         ///< associativity
+  u32 sets = 64;        ///< sets per block slice (power of two)
+  bool enabled = false; ///< off by default: modeled costs are unchanged
+};
+
 struct CostModel {
   // Per-thread operation costs (abstract cycles).
   u64 alu = 1;            ///< one arithmetic/control step
@@ -35,6 +57,13 @@ struct CostModel {
   u64 coalesced_read = 1;   ///< streaming load (offsets, own slot)
   u64 coalesced_write = 1;  ///< streaming store (own slot)
   u64 atomic = 12;        ///< any atomic RMW (success or not)
+  // Modeled LLC (only consulted when cache.enabled). A classified access
+  // replaces its flat scattered cost with one of these; atomics charge the
+  // hit/miss on top of `atomic` (GPU atomics resolve at the L2, so the RMW
+  // always touches the line).
+  u64 llc_hit = 2;        ///< classified access that hits the modeled LLC
+  u64 llc_miss = 16;      ///< classified access that misses (DRAM fetch)
+  CacheConfig cache;      ///< modeled-LLC shape; disabled by default
   // Synchronization and launch costs.
   u64 sync_per_thread = 2;   ///< per resident thread, per block-wide sync
   u64 block_overhead = 32;   ///< fixed cost of scheduling one block
@@ -67,6 +96,10 @@ struct KernelCost {
   u32 active_threads = 0;  ///< threads that charged any work (§3.1.4)
   u32 idle_threads = 0;    ///< threads that charged none (§3.1.3)
   u64 max_thread_work = 0;  ///< heaviest thread (load balance, §3.1.1)
+  // Modeled-LLC outcome of this launch (0/0 while the cache is disabled).
+  // Summed over the per-block cache slices in block-index order.
+  u64 llc_hits = 0;
+  u64 llc_misses = 0;
 
   /// Load imbalance: heaviest thread over the mean of active threads
   /// (1.0 = perfectly balanced).
@@ -80,6 +113,14 @@ struct KernelCost {
     const u32 total = active_threads + idle_threads;
     return total == 0 ? 0.0
                       : static_cast<double>(active_threads) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of classified accesses that hit the modeled LLC (1.0 when
+  /// nothing was classified — an unclassified launch is trivially "warm").
+  double llc_hit_rate() const {
+    const u64 total = llc_hits + llc_misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(llc_hits) /
                             static_cast<double>(total);
   }
 };

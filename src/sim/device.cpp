@@ -67,6 +67,16 @@ KernelCost Device::finalize_cost(const LaunchConfig& cfg,
   }
   kc.block_time = block_time_total;
   kc.max_block_time = max_block_time;
+  // Fold the per-block LLC slices in block-index order — same deterministic
+  // merge discipline as the atomic-outcome shards.
+  if (cost_.cache.enabled) {
+    for (u32 b = 0; b < cfg.blocks; ++b) {
+      kc.llc_hits += block_caches_[b].hits();
+      kc.llc_misses += block_caches_[b].misses();
+    }
+    llc_hits_ += kc.llc_hits;
+    llc_misses_ += kc.llc_misses;
+  }
   // Throughput bound vs. critical path (see KernelCost).
   kc.modeled_cycles =
       cost_.launch_overhead +
@@ -89,6 +99,8 @@ void Device::record_trace(const KernelStats& stats, u64 atomics_before) {
   event.active_threads = stats.cost.active_threads;
   event.idle_threads = stats.cost.idle_threads;
   event.imbalance = stats.cost.imbalance();
+  event.llc_hits = stats.cost.llc_hits;
+  event.llc_misses = stats.cost.llc_misses;
   event.wall_ns = monotonic_ns() - launch_wall_start_;
   event.block_cycles = block_cycles_;
   if (observer_ != nullptr) observer_->on_launch(stats, event);

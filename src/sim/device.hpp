@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "sim/atomics.hpp"
+#include "sim/cache.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/pool.hpp"
 #include "sim/trace.hpp"
@@ -127,16 +128,27 @@ class ThreadCtx {
   u32 grid_size() const { return block_dim_ * grid_dim_; }
 
   // --- instrumented memory operations -------------------------------------
-  /// Global-memory load of `loc` (charges cost, returns the value).
+  /// Global-memory load of `loc` (charges cost, returns the value). This is
+  /// a *classified* access: when the modeled LLC is enabled, the address is
+  /// mapped to a cache line and charged llc_hit/llc_miss instead of the
+  /// flat scattered cost.
   template <typename T>
   T load(const T& loc) {
-    charge_reads(1);
+    if (cache_ != nullptr) {
+      classify(reinterpret_cast<std::uintptr_t>(&loc));
+    } else {
+      charge_reads(1);
+    }
     return loc;
   }
-  /// Global-memory store (charges cost).
+  /// Global-memory store (charges cost). Classified like load().
   template <typename T>
   void store(T& loc, T value) {
-    charge_writes(1);
+    if (cache_ != nullptr) {
+      classify(reinterpret_cast<std::uintptr_t>(&loc));
+    } else {
+      charge_writes(1);
+    }
     loc = value;
   }
   /// Charge `n` ALU steps (loop control, comparisons, hashing...).
@@ -174,7 +186,7 @@ class ThreadCtx {
   u64 atomic_add(u64& loc, u64 value) { return atomic_add_impl(loc, value); }
   /// atomicExch on a byte (ECL-MIS status updates are single-byte stores).
   u8 atomic_exch(u8& loc, u8 value) {
-    pending_ += cost_->atomic;
+    charge_atomic_access(loc);
     stats_->record(AtomicOutcome::kAdd);
     const u8 old = loc;
     loc = value;
@@ -184,9 +196,24 @@ class ThreadCtx {
  private:
   friend class Device;
 
+  /// Consult this block's LLC slice for a classified access and charge
+  /// hit or miss.
+  void classify(std::uintptr_t addr) {
+    pending_ += cache_->access(buffers_->normalize(addr)) ? cost_->llc_hit
+                                                          : cost_->llc_miss;
+  }
+  /// Atomics always charge `atomic`; with the LLC enabled they *also*
+  /// touch the line (GPU atomics resolve at the L2, so the RMW pulls the
+  /// line regardless) and charge hit/miss on top.
+  template <typename T>
+  void charge_atomic_access(const T& loc) {
+    pending_ += cost_->atomic;
+    if (cache_ != nullptr) classify(reinterpret_cast<std::uintptr_t>(&loc));
+  }
+
   template <typename T>
   T atomic_cas_impl(T& loc, T expected, T desired) {
-    pending_ += cost_->atomic;
+    charge_atomic_access(loc);
     const T old = loc;
     if (old == expected) {
       loc = desired;
@@ -198,7 +225,7 @@ class ThreadCtx {
   }
   template <typename T>
   bool atomic_min_impl(T& loc, T value) {
-    pending_ += cost_->atomic;
+    charge_atomic_access(loc);
     if (value < loc) {
       loc = value;
       stats_->record(AtomicOutcome::kMinEffective);
@@ -209,7 +236,7 @@ class ThreadCtx {
   }
   template <typename T>
   bool atomic_max_impl(T& loc, T value) {
-    pending_ += cost_->atomic;
+    charge_atomic_access(loc);
     if (value > loc) {
       loc = value;
       stats_->record(AtomicOutcome::kMaxEffective);
@@ -220,7 +247,7 @@ class ThreadCtx {
   }
   template <typename T>
   T atomic_add_impl(T& loc, T value) {
-    pending_ += cost_->atomic;
+    charge_atomic_access(loc);
     stats_->record(AtomicOutcome::kAdd);
     const T old = loc;
     loc = old + value;
@@ -241,6 +268,11 @@ class ThreadCtx {
   /// sequential launches, this block's private shard for block-independent
   /// ones (merged in block-index order at launch end).
   AtomicStats* stats_ = nullptr;
+  /// This block's modeled-LLC slice, or nullptr when the cache is disabled
+  /// (the default): classified accesses then keep their flat costs.
+  CacheSim* cache_ = nullptr;
+  /// The device's buffer-normalization table (set whenever cache_ is).
+  const BufferMap* buffers_ = nullptr;
   u64 pending_ = 0;  ///< cycles charged since the last flush
   u32 block_ = 0;
   u32 thread_ = 0;
@@ -269,6 +301,7 @@ class Device {
     const u64 atomics_before = atomics_.total();
     const u64 launch_index = launches_;
     work_.assign(cfg.total_threads(), 0);
+    prepare_caches(cfg.blocks);
 
     if (cfg.block_independent) {
       // Block-parallel path: each block runs to completion independently.
@@ -331,6 +364,7 @@ class Device {
     begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
+    prepare_caches(cfg.blocks);
 
     std::vector<u32> alive(cfg.total_threads());
     for (u32 i = 0; i < cfg.total_threads(); ++i) alive[i] = i;
@@ -381,6 +415,7 @@ class Device {
     begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
+    prepare_caches(cfg.blocks);
 
     std::vector<u64> block_iters(cfg.blocks, 0);
     std::vector<u64> block_sync(cfg.blocks, 0);
@@ -444,6 +479,7 @@ class Device {
     begin_observation();
     const u64 atomics_before = atomics_.total();
     work_.assign(cfg.total_threads(), 0);
+    prepare_caches(cfg.blocks);
 
     std::vector<u64> block_iters(cfg.blocks, 0);
     std::vector<u64> block_sync(cfg.blocks, 0);
@@ -519,6 +555,26 @@ class Device {
   ScheduleMode schedule_mode() const { return mode_; }
   u64 seed() const { return seed_; }
 
+  /// Cumulative modeled-LLC outcomes since construction (0/0 while the
+  /// cache is disabled). Profile sessions read deltas of these to tag
+  /// spans, mirroring total_cycles().
+  u64 llc_hits() const { return llc_hits_; }
+  u64 llc_misses() const { return llc_misses_; }
+
+  /// Register an algorithm state array with the modeled LLC's buffer
+  /// normalization (the cudaMalloc analogue — see BufferMap). Call once
+  /// per buffer, in a deterministic code order, after the final resize:
+  /// classified accesses into registered buffers see a stable line
+  /// grouping no matter where the host allocator placed the vector.
+  /// No-op while the cache is disabled.
+  void register_buffer(const void* base, usize bytes) {
+    if (cost_.cache.enabled) buffers_.add(base, bytes);
+  }
+  template <typename T>
+  void register_buffer(const std::vector<T>& v) {
+    register_buffer(v.data(), v.size() * sizeof(T));
+  }
+
   /// Attach a launch timeline (sim/trace.hpp). Not owned; pass nullptr to
   /// detach. Every subsequent launch appends one TraceEvent.
   void set_trace(Trace* trace) { trace_ = trace; }
@@ -549,11 +605,26 @@ class Device {
     if (observing()) launch_wall_start_ = monotonic_ns();
   }
 
+  /// Size and cold-reset the per-block LLC slices for the next launch
+  /// (no-op while the cache is disabled). Capacity is reused; each slice
+  /// starts cold so a launch's hit/miss counts never depend on what ran
+  /// before it or on the grid-to-worker assignment.
+  void prepare_caches(u32 blocks) {
+    if (!cost_.cache.enabled) return;
+    while (block_caches_.size() < blocks) {
+      block_caches_.emplace_back();
+      block_caches_.back().configure(cost_.cache);
+    }
+    for (u32 b = 0; b < blocks; ++b) block_caches_[b].reset();
+  }
+
   ThreadCtx make_ctx(const LaunchConfig& cfg, u32 block, u32 thread,
                      AtomicStats* stats = nullptr) {
     ThreadCtx ctx;
     ctx.cost_ = &cost_;
     ctx.stats_ = stats == nullptr ? &atomics_ : stats;
+    ctx.cache_ = cost_.cache.enabled ? &block_caches_[block] : nullptr;
+    ctx.buffers_ = &buffers_;
     ctx.block_ = block;
     ctx.thread_ = thread;
     ctx.global_ = block * cfg.threads_per_block + thread;
@@ -616,6 +687,8 @@ class Device {
   Rng rng_;
   u64 total_cycles_ = 0;
   u64 launches_ = 0;
+  u64 llc_hits_ = 0;    ///< cumulative modeled-LLC hits (cache enabled only)
+  u64 llc_misses_ = 0;  ///< cumulative modeled-LLC misses
   Trace* trace_ = nullptr;
   LaunchObserver* observer_ = nullptr;
   u64 launch_wall_start_ = 0;
@@ -626,6 +699,15 @@ class Device {
   // Work accumulator of the launch currently executing; capacity is reused
   // across launches (assign, not reconstruct).
   std::vector<u64> work_;
+  // Per-block modeled-LLC slices (empty while the cache is disabled).
+  // Each block of a launch touches only its own slice (alignas(64) keeps
+  // them on distinct cache lines), so block-parallel execution is race-free
+  // and the block-order fold in finalize_cost is deterministic.
+  std::vector<CacheSim> block_caches_;
+  // Buffer-normalization table for classified addresses (see BufferMap in
+  // sim/cache.hpp); populated by register_buffer, shared read-only by all
+  // blocks of a launch.
+  BufferMap buffers_;
   // Per-block atomic-outcome shards of the block-independent launch
   // currently executing (null outside one).
   struct alignas(64) BlockStats {

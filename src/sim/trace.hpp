@@ -31,6 +31,12 @@ struct TraceEvent {
   /// launch (active_threads == 0) is trivially balanced and reports exactly
   /// 1.0 — never a division by zero (KernelCost::imbalance guards it).
   double imbalance = 1.0;
+  /// Modeled-LLC outcome of this launch; 0/0 while the cache is disabled
+  /// (the default), in which case downstream consumers (profile sessions,
+  /// Perfetto export) omit the fields entirely so existing artifacts stay
+  /// byte-identical.
+  u64 llc_hits = 0;
+  u64 llc_misses = 0;
   /// Real simulator wall-clock of the launch, in nanoseconds. Only measured
   /// while a trace or launch observer is attached (0 otherwise), and
   /// deliberately excluded from to_csv() so timeline CSVs stay byte-stable

@@ -1,0 +1,270 @@
+// Reordering-suite tests: spec grammar, permutation validity for every
+// order, the multi-component BFS regression, known-order locality values,
+// build-thread invariance of the relabeled graphs, and the graph-cache
+// memoization of apply_reorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/meshes.hpp"
+#include "graph/builder.hpp"
+#include "graph/cache.hpp"
+#include "graph/reorder.hpp"
+#include "graph/transforms.hpp"
+#include "support/parallel_for.hpp"
+
+namespace eclp {
+namespace {
+
+graph::Csr path(vidx n) {
+  std::vector<graph::Edge> edges;
+  for (vidx v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 0});
+  return graph::from_edges(n, edges);
+}
+
+/// Two triangles, one 2-path, and an isolated vertex: 4 components.
+graph::Csr disconnected() {
+  return graph::from_edges(
+      9, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0},            // component A
+          {3, 4, 0}, {4, 5, 0}, {3, 5, 0},            // component B
+          {6, 7, 0}});                                // component C; 8 isolated
+}
+
+bool is_permutation_of_n(const std::vector<vidx>& perm, vidx n) {
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const vidx p : perm) {
+    if (p >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+std::vector<vidx> inverse(const std::vector<vidx>& perm) {
+  std::vector<vidx> inv(perm.size());
+  for (vidx v = 0; v < perm.size(); ++v) inv[perm[v]] = v;
+  return inv;
+}
+
+// --- ReorderSpec grammar -----------------------------------------------------
+
+TEST(ReorderSpec, ParsesEveryForm) {
+  using Kind = graph::ReorderSpec::Kind;
+  EXPECT_EQ(graph::ReorderSpec::parse("").kind, Kind::kNatural);
+  EXPECT_EQ(graph::ReorderSpec::parse("none").kind, Kind::kNatural);
+  EXPECT_EQ(graph::ReorderSpec::parse("natural").kind, Kind::kNatural);
+  EXPECT_TRUE(graph::ReorderSpec::parse("natural").is_natural());
+
+  const auto rnd = graph::ReorderSpec::parse("random");
+  EXPECT_EQ(rnd.kind, Kind::kRandom);
+  EXPECT_EQ(rnd.seed, 1u);
+  EXPECT_EQ(graph::ReorderSpec::parse("random:7").seed, 7u);
+
+  EXPECT_EQ(graph::ReorderSpec::parse("bfs").kind, Kind::kBfs);
+  EXPECT_EQ(graph::ReorderSpec::parse("degree").kind, Kind::kDegree);
+  EXPECT_EQ(graph::ReorderSpec::parse("hub").kind, Kind::kHub);
+  EXPECT_EQ(graph::ReorderSpec::parse("hubcluster").kind, Kind::kHubCluster);
+
+  const auto gorder = graph::ReorderSpec::parse("gorder");
+  EXPECT_EQ(gorder.kind, Kind::kGorder);
+  EXPECT_EQ(gorder.window, 8u);
+  EXPECT_EQ(graph::ReorderSpec::parse("gorder:16").window, 16u);
+}
+
+TEST(ReorderSpec, CanonicalFormIsStable) {
+  // Aliases collapse: cache/pool keys must not split on spelling.
+  EXPECT_EQ(graph::ReorderSpec::parse("").canonical(), "natural");
+  EXPECT_EQ(graph::ReorderSpec::parse("none").canonical(), "natural");
+  EXPECT_EQ(graph::ReorderSpec::parse("random").canonical(), "random:1");
+  EXPECT_EQ(graph::ReorderSpec::parse("random:1").canonical(), "random:1");
+  EXPECT_EQ(graph::ReorderSpec::parse("gorder").canonical(), "gorder:8");
+  EXPECT_EQ(graph::ReorderSpec::parse("hub").canonical(), "hub");
+  // Round-trip: parsing a canonical form reproduces it.
+  for (const auto& spec : graph::reorder_suite()) {
+    EXPECT_EQ(graph::ReorderSpec::parse(spec.canonical()).canonical(),
+              spec.canonical());
+  }
+}
+
+TEST(ReorderSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(graph::ReorderSpec::parse("zorder"), CheckFailure);
+  EXPECT_THROW(graph::ReorderSpec::parse("random:"), CheckFailure);
+  EXPECT_THROW(graph::ReorderSpec::parse("random:abc"), CheckFailure);
+  EXPECT_THROW(graph::ReorderSpec::parse("gorder:0"), CheckFailure);
+  EXPECT_THROW(graph::ReorderSpec::parse("hub:3"), CheckFailure);
+}
+
+// --- permutation validity ----------------------------------------------------
+
+TEST(Reorder, EveryOrderIsABijection) {
+  const auto g = gen::rmat(10, 8000, 0.45, 0.22, 0.22, 5);
+  for (const auto& spec : graph::reorder_suite()) {
+    EXPECT_TRUE(is_permutation_of_n(graph::make_order(g, spec),
+                                    g.num_vertices()))
+        << spec.canonical();
+  }
+  EXPECT_TRUE(is_permutation_of_n(graph::order_hub_cluster(g),
+                                  g.num_vertices()));
+}
+
+TEST(Reorder, EveryOrderCoversDisconnectedGraphs) {
+  // Regression for the multi-component case: every order must rank every
+  // vertex even when vertex 0's component does not reach the whole graph
+  // (order_bfs restarts from the lowest-id unvisited vertex; order_gorder
+  // falls back to id order when the affinity heap drains).
+  const auto g = disconnected();
+  for (const auto& spec : graph::reorder_suite()) {
+    EXPECT_TRUE(is_permutation_of_n(graph::make_order(g, spec),
+                                    g.num_vertices()))
+        << spec.canonical();
+  }
+  EXPECT_TRUE(is_permutation_of_n(graph::order_hub_cluster(g),
+                                  g.num_vertices()));
+  // The isolated vertex (8) is ranked by the BFS restart chain, not left
+  // at the sentinel.
+  const auto bfs = graph::order_bfs(g);
+  EXPECT_LT(bfs[8], g.num_vertices());
+}
+
+TEST(Reorder, RelabelRoundTripsThroughTheInversePermutation) {
+  const auto g = gen::rmat(9, 4000, 0.45, 0.22, 0.22, 7);
+  for (const auto* spec : {"hub", "hubcluster", "gorder", "degree"}) {
+    const auto perm = graph::make_order(g, graph::ReorderSpec::parse(spec));
+    const auto forward = graph::relabel(g, perm);
+    EXPECT_EQ(graph::relabel(forward, inverse(perm)), g) << spec;
+  }
+}
+
+// --- order-specific structure ------------------------------------------------
+
+TEST(Reorder, HubOrderFrontLoadsAboveMeanDegrees) {
+  const auto g = gen::rmat(10, 8000, 0.45, 0.22, 0.22, 9);
+  const double mean = static_cast<double>(g.num_edges()) /
+                      static_cast<double>(g.num_vertices());
+  vidx num_hubs = 0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    num_hubs += static_cast<double>(g.degree(v)) > mean;
+  }
+  ASSERT_GT(num_hubs, 0u);
+  const auto r = graph::relabel(g, graph::order_hub(g));
+  // Exactly the hub prefix exceeds the mean; degrees there are descending.
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (v < num_hubs) {
+      EXPECT_GT(static_cast<double>(r.degree(v)), mean) << v;
+      if (v + 1 < num_hubs) {
+        EXPECT_GE(r.degree(v), r.degree(v + 1)) << v;
+      }
+    } else {
+      EXPECT_LE(static_cast<double>(r.degree(v)), mean) << v;
+    }
+  }
+}
+
+TEST(Reorder, HubClusterBucketsAreMonotone) {
+  const auto g = gen::rmat(10, 8000, 0.45, 0.22, 0.22, 11);
+  const auto r = graph::relabel(g, graph::order_hub_cluster(g));
+  const auto bucket = [&](vidx v) {
+    u32 b = 0;
+    for (u64 d = static_cast<u64>(r.degree(v)) + 1; d > 1; d >>= 1) ++b;
+    return b;
+  };
+  for (vidx v = 0; v + 1 < r.num_vertices(); ++v) {
+    EXPECT_GE(bucket(v), bucket(v + 1)) << v;
+  }
+}
+
+// --- locality metrics on known orders ----------------------------------------
+
+TEST(Reorder, PathGraphLocalityIsExact) {
+  const vidx n = 256;
+  const auto g = path(n);
+  // Every edge spans id distance exactly 1, so the mean distance is 1 and
+  // the normalized score is 1/n.
+  EXPECT_NEAR(graph::locality_score(g), 1.0 / n, 1e-12);
+  // 2 * 255 arcs; one edge (two arcs) crosses each of the three aligned
+  // 64-boundaries (63-64, 127-128, 191-192).
+  EXPECT_NEAR(graph::block_affinity(g, 64), (510.0 - 6.0) / 510.0, 1e-12);
+}
+
+TEST(Reorder, RandomOrderScoresNearOneThird) {
+  const auto p = path(4096);
+  const auto g = graph::relabel(p, graph::order_random(p, 3));
+  EXPECT_NEAR(graph::locality_score(g), 1.0 / 3.0, 0.05);
+  EXPECT_LT(graph::block_affinity(g, 64), 0.1);
+}
+
+TEST(Reorder, GorderBeatsRandomLocalityOnMeshes) {
+  const auto g = gen::cold_flow(24, 3);
+  const auto random = graph::relabel(g, graph::order_random(g, 5));
+  const auto gordered =
+      graph::relabel(random, graph::order_gorder(random));
+  EXPECT_LT(graph::locality_score(gordered), graph::locality_score(random));
+  EXPECT_GT(graph::block_affinity(gordered, 256),
+            graph::block_affinity(random, 256));
+}
+
+// --- determinism across build threads ----------------------------------------
+
+TEST(Reorder, OrdersAndRelabelsAreBuildThreadInvariant) {
+  const u32 restore = build_threads();
+  const auto g = gen::rmat(9, 4000, 0.45, 0.22, 0.22, 13);
+  std::vector<graph::Csr> baseline;
+  for (const u32 threads : {1u, 2u, 7u}) {
+    set_build_threads(threads);
+    std::vector<graph::Csr> relabeled;
+    for (const auto& spec : graph::reorder_suite()) {
+      relabeled.push_back(graph::apply_reorder(g, spec));
+    }
+    if (baseline.empty()) {
+      baseline = std::move(relabeled);
+      continue;
+    }
+    EXPECT_EQ(relabeled, baseline) << threads << " build threads";
+  }
+  set_build_threads(restore);
+}
+
+// --- graph-cache memoization -------------------------------------------------
+
+TEST(Reorder, ApplyReorderIsMemoizedThroughTheGraphCache) {
+  const std::string saved_dir = graph::cache_dir();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "eclp_reorder_cache_test";
+  std::filesystem::remove_all(dir);
+  graph::set_cache_dir(dir.string());
+  graph::reset_cache_stats();
+
+  const auto g = gen::rmat(9, 4000, 0.45, 0.22, 0.22, 15);
+  const auto spec = graph::ReorderSpec::parse("hub");
+  const auto cold = graph::apply_reorder(g, spec);
+  const auto after_cold = graph::cache_stats();
+  EXPECT_EQ(after_cold.misses, 1u);
+  EXPECT_EQ(after_cold.stores, 1u);
+
+  const auto warm = graph::apply_reorder(g, spec);
+  const auto after_warm = graph::cache_stats();
+  EXPECT_EQ(after_warm.hits, 1u);
+  EXPECT_EQ(warm, cold);
+
+  // A different spec (and a different window of the same kind) must miss:
+  // the key includes the canonical spec.
+  graph::apply_reorder(g, graph::ReorderSpec::parse("gorder"));
+  graph::apply_reorder(g, graph::ReorderSpec::parse("gorder:4"));
+  EXPECT_EQ(graph::cache_stats().misses, 3u);
+
+  // Natural specs bypass the cache entirely.
+  graph::apply_reorder(g, graph::ReorderSpec::parse("natural"));
+  EXPECT_EQ(graph::cache_stats().misses, 3u);
+  EXPECT_EQ(graph::cache_stats().hits, 1u);
+
+  graph::set_cache_dir(saved_dir);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace eclp

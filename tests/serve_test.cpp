@@ -32,6 +32,7 @@
 #include "graph/cache.hpp"
 #include "graph/pool.hpp"
 #include "serve/server.hpp"
+#include "sim/cache.hpp"
 #include "sim/device.hpp"
 
 namespace eclp {
@@ -371,6 +372,75 @@ TEST(Server, SharesOnePooledGraphAcrossAlgorithms) {
   const auto s = server.stats();
   EXPECT_EQ(s.graphs.misses, 1u);
   EXPECT_EQ(s.graphs.hits, 1u);
+}
+
+TEST(Server, ReorderAndLlcSpecsSplitThePoolKey) {
+  const auto base = make_request("a", serve::Algo::kCc, "rmat16.sym");
+  const auto with = [&](const std::string& reorder, const std::string& llc) {
+    serve::Request r = base;
+    r.reorder = reorder;
+    r.llc = llc;
+    return serve::Server::graph_key(r);
+  };
+  // Spelling variants of one canonical spec share a pool entry...
+  EXPECT_EQ(with("", ""), with("natural", "off"));
+  EXPECT_EQ(with("random", ""), with("random:1", ""));
+  EXPECT_EQ(with("", "on"), with("", "64:8:64"));
+  // ...but any semantic difference splits the key: a reordered graph must
+  // never alias a natural-order entry, and an LLC shape change alters
+  // every modeled result computed on the pooled graph.
+  EXPECT_NE(with("", ""), with("hub", ""));
+  EXPECT_NE(with("hub", ""), with("gorder", ""));
+  EXPECT_NE(with("gorder:8", ""), with("gorder:4", ""));
+  EXPECT_NE(with("", ""), with("", "on"));
+  EXPECT_NE(with("", "on"), with("", "32:4:16"));
+
+  // Cold/warm through the live pool: a repeated reorder spec hits the
+  // resident relabeled graph; a different spec builds its own.
+  serve::Server server;
+  const auto reordered = [&](const std::string& id,
+                             const std::string& reorder) {
+    serve::Request r = make_request(id, serve::Algo::kCc, "rmat16.sym");
+    r.reorder = reorder;
+    return r;
+  };
+  const auto responses = server.serve({reordered("cold", "hub"),
+                                       reordered("warm", "hub"),
+                                       reordered("other", "random")});
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.status, serve::Status::kOk) << r.id << ": " << r.error;
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.graphs.misses, 2u);
+  EXPECT_EQ(s.graphs.hits, 1u);
+}
+
+TEST(Server, MalformedReorderSpecBecomesATypedError) {
+  serve::Server server;
+  serve::Request bad = make_request("bad", serve::Algo::kCc, "rmat16.sym");
+  bad.reorder = "zorder";
+  const auto responses = server.serve({bad});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, serve::Status::kError);
+  EXPECT_NE(responses[0].error.find("reorder"), std::string::npos);
+}
+
+TEST(Server, LlcRequestMatchesDirectCacheEnabledRun) {
+  serve::Server server;
+  serve::Request req = make_request("llc", serve::Algo::kCc, "rmat16.sym");
+  req.llc = "on";
+  const auto responses = server.serve({req});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_EQ(responses[0].status, serve::Status::kOk);
+
+  const auto g = gen::find_input("rmat16.sym").make(gen::Scale::kTiny);
+  sim::CostModel cost;
+  cost.cache = sim::parse_cache_config("on");
+  sim::Device dev(cost, 0, sim::ScheduleMode::kDeterministic);
+  const auto res = algos::cc::run(dev, g);
+  EXPECT_EQ(responses[0].modeled_cycles, res.modeled_cycles);
+  EXPECT_EQ(responses[0].checksum, checksum_of(res.labels));
+  EXPECT_GT(dev.llc_hits() + dev.llc_misses(), 0u);
 }
 
 TEST(Server, ResponsesComeBackInRequestOrder) {

@@ -24,6 +24,7 @@
 #include "algos/scc/ecl_scc.hpp"
 #include "gen/suite.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "graph/transforms.hpp"
 #include "profile/session.hpp"
 #include "sim/trace.hpp"
@@ -35,7 +36,8 @@ using namespace eclp;
 
 namespace {
 
-graph::Csr obtain_graph(const Cli& cli, bool want_directed) {
+graph::Csr obtain_graph(const Cli& cli, const std::string& algo) {
+  const bool want_directed = algo == "scc";
   graph::Csr g;
   if (!cli.get("graph").empty()) {
     g = graph::load_any(cli.get("graph"), want_directed);
@@ -52,6 +54,23 @@ graph::Csr obtain_graph(const Cli& cli, bool want_directed) {
   }
   ECLP_CHECK_MSG(!want_directed || g.directed(),
                  "SCC needs a directed graph");
+  // MST weights must be attached BEFORE any reordering: with_random_weights
+  // hashes endpoint ids, so weighting first and permuting the weights with
+  // the graph keeps results isomorphic across every --reorder choice.
+  if (algo == "mst" && !g.weighted()) {
+    g = graph::with_random_weights(g,
+                                   static_cast<u64>(cli.get_int("weights")));
+    std::printf("note: attached random weights (seed %lld)\n",
+                static_cast<long long>(cli.get_int("weights")));
+  }
+  const auto spec = graph::ReorderSpec::parse(cli.get("reorder"));
+  if (!spec.is_natural()) {
+    g = graph::apply_reorder(g, spec);
+    std::printf("note: reordered vertices (%s); locality %.4f, "
+                "block affinity %.4f\n",
+                spec.canonical().c_str(), graph::locality_score(g),
+                graph::block_affinity(g, 256));
+  }
   return g;
 }
 
@@ -83,6 +102,16 @@ int main(int argc, char** argv) {
                  "write a profiling session (eclp.profile JSON + Perfetto "
                  ".trace.json) to this path; overrides ECLP_PROFILE",
                  "");
+  cli.add_option("reorder",
+                 "vertex reordering applied to the input: natural, "
+                 "random[:SEED], bfs, degree, hub, hubcluster, "
+                 "gorder[:WINDOW]",
+                 "natural");
+  cli.add_option("llc",
+                 "modeled last-level cache: off (default), on, or "
+                 "LINE:WAYS:SETS (e.g. 64:8:64) — adds llc hit/miss "
+                 "counters to profiles (docs/SIMULATOR.md)",
+                 "off");
   cli.add_flag("verify", "check the result against the sequential reference");
   cli.add_flag("timeline", "print the kernel launch timeline");
   cli.add_flag("help", "show usage");
@@ -103,7 +132,9 @@ int main(int argc, char** argv) {
     graph::set_cache_dir(cli.get("graph-cache"));
   }
   const u64 seed = static_cast<u64>(cli.get_int("seed"));
-  sim::Device dev(sim::CostModel{}, seed,
+  sim::CostModel cost;
+  cost.cache = sim::parse_cache_config(cli.get("llc"));
+  sim::Device dev(cost, seed,
                   seed == 0 ? sim::ScheduleMode::kDeterministic
                             : sim::ScheduleMode::kShuffled);
   sim::Trace trace;
@@ -123,12 +154,17 @@ int main(int argc, char** argv) {
     session->set_meta("graph", !cli.get("graph").empty()
                                    ? cli.get("graph")
                                    : cli.get("input"));
+    const auto spec = graph::ReorderSpec::parse(cli.get("reorder"));
+    if (!spec.is_natural()) session->set_meta("reorder", spec.canonical());
+    if (cost.cache.enabled) {
+      session->set_meta("llc", sim::cache_config_label(cost.cache));
+    }
     session->set_output(profile_path);
   }
 
   Timer wall;
   if (algo == "cc") {
-    const auto g = obtain_graph(cli, false);
+    const auto g = obtain_graph(cli, algo);
     const auto res = algos::cc::run(dev, g);
     std::printf("CC: %zu components, %llu modeled cycles, %.0f ms wall\n",
                 [&] {
@@ -152,7 +188,7 @@ int main(int argc, char** argv) {
       std::printf("verified against BFS reference.\n");
     }
   } else if (algo == "gc") {
-    const auto g = obtain_graph(cli, false);
+    const auto g = obtain_graph(cli, algo);
     const auto res = algos::gc::run(dev, g);
     std::printf("GC: %u colors in %llu rounds, %llu modeled cycles, "
                 "%.0f ms wall\n",
@@ -165,7 +201,7 @@ int main(int argc, char** argv) {
       std::printf("verified: proper coloring.\n");
     }
   } else if (algo == "mis") {
-    const auto g = obtain_graph(cli, false);
+    const auto g = obtain_graph(cli, algo);
     const auto res = algos::mis::run(dev, g);
     std::printf("MIS: |S| = %zu, iterations avg %.2f max %.0f, %llu modeled "
                 "cycles, %.0f ms wall\n",
@@ -178,13 +214,7 @@ int main(int argc, char** argv) {
       std::printf("verified: independent and maximal.\n");
     }
   } else if (algo == "mst") {
-    auto g = obtain_graph(cli, false);
-    if (!g.weighted()) {
-      g = graph::with_random_weights(
-          g, static_cast<u64>(cli.get_int("weights")));
-      std::printf("note: attached random weights (seed %lld)\n",
-                  static_cast<long long>(cli.get_int("weights")));
-    }
+    const auto g = obtain_graph(cli, algo);
     algos::mst::Options opt;
     opt.record_iteration_metrics = true;
     const auto res = algos::mst::run(dev, g, opt);
@@ -199,7 +229,7 @@ int main(int argc, char** argv) {
       std::printf("verified against Kruskal.\n");
     }
   } else if (algo == "scc") {
-    const auto g = obtain_graph(cli, true);
+    const auto g = obtain_graph(cli, algo);
     const auto res = algos::scc::run(dev, g);
     std::printf("SCC: %zu components in m = %u rounds, %llu modeled cycles, "
                 "%.0f ms wall\n",
@@ -228,5 +258,15 @@ int main(int argc, char** argv) {
   std::printf("atomics: %llu total, CAS failure rate %.1f%%\n",
               static_cast<unsigned long long>(dev.atomic_stats().total()),
               100.0 * dev.atomic_stats().cas_failure_rate());
+  if (cost.cache.enabled) {
+    const u64 total = dev.llc_hits() + dev.llc_misses();
+    std::printf("llc(%s): %llu hits, %llu misses (hit rate %.1f%%)\n",
+                sim::cache_config_label(cost.cache).c_str(),
+                static_cast<unsigned long long>(dev.llc_hits()),
+                static_cast<unsigned long long>(dev.llc_misses()),
+                total == 0 ? 100.0
+                           : 100.0 * static_cast<double>(dev.llc_hits()) /
+                                 static_cast<double>(total));
+  }
   return 0;
 }
