@@ -26,7 +26,10 @@ Pool::~Pool() {
 Pool::Pin Pool::acquire(const std::string& key,
                         const std::function<Csr()>& build) {
   std::unique_lock<std::mutex> lk(mutex_);
-  stats_.requests++;
+  // A request is counted when it is classified as a hit or a miss — under
+  // the same lock hold — so stats() observers see hits + misses == requests
+  // at every instant, including while builds (or failed-build retries) are
+  // in flight.
   for (;;) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
@@ -42,6 +45,7 @@ Pool::Pin Pool::acquire(const std::string& key,
       }
       e->pins++;
       e->last_use = ++clock_;
+      stats_.requests++;
       stats_.hits++;
       Pin pin;
       pin.pool_ = this;
@@ -58,6 +62,7 @@ Pool::Pin Pool::acquire(const std::string& key,
     placeholder->pins = 1;
     Entry* e = entries_.emplace(key, std::move(placeholder))
                    .first->second.get();
+    stats_.requests++;
     stats_.misses++;
     lk.unlock();
     Csr g;

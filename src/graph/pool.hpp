@@ -40,11 +40,14 @@ namespace eclp::graph {
 /// noise at graph sizes). The quantity the pool's byte budget meters.
 u64 graph_bytes(const Csr& g);
 
-/// Pool observability. hits + misses == requests always holds: every
-/// acquire() is classified exactly once, as the miss that built the entry
-/// or as a hit on a resident (or in-flight) one.
+/// Pool observability. hits + misses == requests always holds — even in a
+/// snapshot taken while builds (or failed-build retries) are in flight:
+/// a request is counted at the instant it is classified, as the miss that
+/// builds the entry or as a hit on a resident (or in-flight) one. An
+/// acquire whose build throws counts as a miss; a waiter that retries
+/// after a failed build is classified once, by its final outcome.
 struct PoolStats {
-  u64 requests = 0;   ///< acquire() calls
+  u64 requests = 0;   ///< classified acquire() calls (== hits + misses)
   u64 hits = 0;       ///< served from a resident or in-flight entry
   u64 misses = 0;     ///< this acquire built (and inserted) the graph
   u64 evictions = 0;  ///< entries dropped by the LRU policy (never pinned)

@@ -1,7 +1,10 @@
 #include "graph/reorder.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <charconv>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "graph/cache.hpp"
@@ -63,9 +66,22 @@ std::vector<vidx> order_random(const Csr& g, u64 seed) {
 }
 
 std::vector<vidx> order_morton_grid(u32 side) {
-  const auto morton = [](u32 x, u32 y) {
+  // Row-major ids are y*side + x; the vertex count side*side must fit vidx
+  // (ranks are counted in vidx too). Without this check a side >= 2^16
+  // silently wraps the 32-bit id arithmetic and the "permutation" stops
+  // being one.
+  ECLP_CHECK_MSG(static_cast<u64>(side) * side <=
+                     std::numeric_limits<vidx>::max(),
+                 "morton grid side " << side << " needs " << side << "x"
+                                     << side
+                                     << " vertex ids, which overflows the "
+                                        "32-bit vertex index type");
+  // Only the bits that can be set in a coordinate < side matter for the
+  // interleave; everything above is zero.
+  const u32 coord_bits = side <= 1 ? 1 : std::bit_width(side - 1);
+  const auto morton = [coord_bits](u32 x, u32 y) {
     u64 key = 0;
-    for (u32 bit = 0; bit < 32; ++bit) {
+    for (u32 bit = 0; bit < coord_bits; ++bit) {
       key |= (static_cast<u64>((x >> bit) & 1) << (2 * bit)) |
              (static_cast<u64>((y >> bit) & 1) << (2 * bit + 1));
     }
@@ -75,7 +91,8 @@ std::vector<vidx> order_morton_grid(u32 side) {
   keyed.reserve(static_cast<usize>(side) * side);
   for (u32 y = 0; y < side; ++y) {
     for (u32 x = 0; x < side; ++x) {
-      keyed.push_back({morton(x, y), y * side + x});
+      keyed.push_back(
+          {morton(x, y), static_cast<vidx>(static_cast<u64>(y) * side + x)});
     }
   }
   std::sort(keyed.begin(), keyed.end());
@@ -204,6 +221,29 @@ std::vector<vidx> order_gorder(const Csr& g, u32 window) {
   return perm;
 }
 
+namespace {
+
+/// Parse a digit-checked spec argument into an unsigned integer type,
+/// reporting overflow as a CheckFailure diagnostic instead of letting
+/// std::out_of_range escape (std::stoull on "9999...9" would abort a
+/// --reorder=random:<hugeseed> run with an uncaught exception).
+template <typename T>
+T parse_spec_number(const std::string& spec, const std::string& arg) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(arg.data(), arg.data() + arg.size(), value);
+  ECLP_CHECK_MSG(ec != std::errc::result_out_of_range,
+                 "reorder spec '" << spec << "' argument '" << arg
+                                  << "' does not fit in " << 8 * sizeof(T)
+                                  << " bits");
+  ECLP_CHECK_MSG(ec == std::errc{} && ptr == arg.data() + arg.size(),
+                 "reorder spec '" << spec << "' has a malformed argument '"
+                                  << arg << "'");
+  return value;
+}
+
+}  // namespace
+
 ReorderSpec ReorderSpec::parse(const std::string& spec) {
   ReorderSpec out;
   std::string head = spec;
@@ -223,7 +263,7 @@ ReorderSpec ReorderSpec::parse(const std::string& spec) {
     out.kind = Kind::kNatural;
   } else if (head == "random") {
     out.kind = Kind::kRandom;
-    if (!arg.empty()) out.seed = std::stoull(arg);
+    if (!arg.empty()) out.seed = parse_spec_number<u64>(spec, arg);
   } else if (head == "bfs") {
     out.kind = Kind::kBfs;
   } else if (head == "degree") {
@@ -235,7 +275,7 @@ ReorderSpec ReorderSpec::parse(const std::string& spec) {
   } else if (head == "gorder") {
     out.kind = Kind::kGorder;
     if (!arg.empty()) {
-      out.window = static_cast<u32>(std::stoul(arg));
+      out.window = parse_spec_number<u32>(spec, arg);
       ECLP_CHECK_MSG(out.window >= 1, "gorder window must be >= 1");
     }
   } else {

@@ -98,6 +98,26 @@ TEST(ReorderSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(graph::ReorderSpec::parse("hub:3"), CheckFailure);
 }
 
+TEST(ReorderSpec, RejectsOutOfRangeArgumentsWithADiagnostic) {
+  // Regression: these used to escape as uncaught std::out_of_range from
+  // std::stoull/std::stoul instead of a typed CheckFailure diagnostic.
+  EXPECT_THROW(graph::ReorderSpec::parse("random:99999999999999999999999"),
+               CheckFailure);
+  EXPECT_THROW(graph::ReorderSpec::parse("gorder:99999999999"), CheckFailure);
+  try {
+    graph::ReorderSpec::parse("random:99999999999999999999999");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos)
+        << e.what();
+  }
+  // The extreme in-range values still parse.
+  EXPECT_EQ(graph::ReorderSpec::parse("random:18446744073709551615").seed,
+            ~u64{0});
+  EXPECT_EQ(graph::ReorderSpec::parse("gorder:4294967295").window,
+            4294967295u);
+}
+
 // --- permutation validity ----------------------------------------------------
 
 TEST(Reorder, EveryOrderIsABijection) {
@@ -128,6 +148,20 @@ TEST(Reorder, EveryOrderCoversDisconnectedGraphs) {
   // at the sentinel.
   const auto bfs = graph::order_bfs(g);
   EXPECT_LT(bfs[8], g.num_vertices());
+}
+
+TEST(Reorder, MortonGridIsABijectionAndRejectsOverflowingSides) {
+  // 64 exercises the exact power-of-two interleave; 257 needs 9 coordinate
+  // bits and a non-power-of-two row stride.
+  for (const u32 side : {64u, 257u}) {
+    EXPECT_TRUE(is_permutation_of_n(graph::order_morton_grid(side),
+                                    static_cast<vidx>(side * side)))
+        << side;
+  }
+  // Regression: side >= 2^16 used to wrap y*side + x in 32-bit arithmetic
+  // and hand back a non-permutation; it is now rejected up front.
+  EXPECT_THROW(graph::order_morton_grid(65536), CheckFailure);
+  EXPECT_THROW(graph::order_morton_grid(70000), CheckFailure);
 }
 
 TEST(Reorder, RelabelRoundTripsThroughTheInversePermutation) {

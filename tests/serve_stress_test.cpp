@@ -18,9 +18,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -113,6 +115,77 @@ TEST(ServeStress, PinnedGraphsSurviveEvictionPressure) {
   EXPECT_EQ(s.pins, 0u);
   EXPECT_LE(s.bytes, pool.byte_budget());
   EXPECT_EQ(s.hits + s.misses, s.requests);
+}
+
+/// Regression: stats() used to count a request at acquire() entry but
+/// classify it as a hit or miss only later, so a snapshot taken while a
+/// build was in flight — in particular a failing build with a crowd of
+/// waiters parked behind it — saw hits + misses < requests. The documented
+/// invariant must hold at every instant, across the failed-build retry
+/// path included.
+TEST(ServeStress, StatsInvariantHoldsWhileAFailedBuildIsInFlight) {
+  constexpr u32 kWaiters = 4;
+  graph::Pool pool(1 << 20);
+
+  std::atomic<u32> entered{0};       // waiters that have reached acquire()
+  std::atomic<bool> sampled{false};  // main thread took the mid-build sample
+  std::atomic<u64> builds{0};
+  std::promise<void> first_build_running;
+  auto build = [&]() -> graph::Csr {
+    if (builds.fetch_add(1) == 0) {
+      first_build_running.set_value();
+      // Hold the doomed build open until every waiter is inside acquire()
+      // and the main thread has sampled stats() mid-flight, then fail.
+      while (entered.load() < kWaiters || !sampled.load()) {
+        std::this_thread::yield();
+      }
+      throw std::runtime_error("synthetic build failure");
+    }
+    return ring_graph(32);
+  };
+
+  std::atomic<u32> failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // first builder: its acquire() rethrows
+    try {
+      auto pin = pool.acquire("flaky", build);
+      ADD_FAILURE() << "first build unexpectedly succeeded";
+    } catch (const std::runtime_error&) {
+      failures.fetch_add(1);
+    }
+  });
+  first_build_running.get_future().wait();
+  for (u32 t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      entered.fetch_add(1);
+      // Parks behind the in-flight failing build, then retries: exactly
+      // one waiter becomes the second builder, the rest hit its entry.
+      auto pin = pool.acquire("flaky", build);
+      ASSERT_TRUE(pin.valid());
+      ASSERT_EQ(pin->num_vertices(), 32u);
+    });
+  }
+  // Let the waiters pass acquire() entry and park behind the placeholder,
+  // then snapshot while the doomed build is still running.
+  while (entered.load() < kWaiters) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    const auto s = pool.stats();
+    EXPECT_EQ(s.hits + s.misses, s.requests)
+        << "stats() snapshot during an in-flight build breaks the invariant";
+  }
+  sampled.store(true);
+  for (auto& th : threads) th.join();
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.requests, u64{kWaiters} + 1);
+  EXPECT_EQ(s.hits + s.misses, s.requests);
+  EXPECT_EQ(s.misses, 2u);  // the failed attempt and the successful retry
+  EXPECT_EQ(s.hits, u64{kWaiters} - 1);
+  EXPECT_EQ(builds.load(), 2u);
+  EXPECT_EQ(failures.load(), 1u);
+  EXPECT_EQ(s.pins, 0u);
+  EXPECT_TRUE(pool.contains("flaky"));
 }
 
 /// Full-stack storm: submitter threads firing mixed algorithm requests at
