@@ -117,7 +117,8 @@ void validate_profile(const json::Value& doc) {
     require_number(s, "cycles", "spans[]");
     const std::string& kind = s.at("kind").as_string();
     ECLP_CHECK_MSG(kind == "algorithm" || kind == "phase" ||
-                       kind == "iteration" || kind == "kernel",
+                       kind == "iteration" || kind == "operator" ||
+                       kind == "kernel",
                    "profile: unknown span kind '" << kind << "'");
     const double parent = s.at("parent").as_number();
     ECLP_CHECK_MSG(parent >= -1.0 && parent < s.at("id").as_number(),

@@ -38,6 +38,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kAlgorithm: return "algorithm";
     case SpanKind::kPhase: return "phase";
     case SpanKind::kIteration: return "iteration";
+    case SpanKind::kOperator: return "operator";
     case SpanKind::kKernel: return "kernel";
   }
   return "unknown";

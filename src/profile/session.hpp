@@ -46,7 +46,7 @@
 
 namespace eclp::profile {
 
-enum class SpanKind : u8 { kAlgorithm, kPhase, kIteration, kKernel };
+enum class SpanKind : u8 { kAlgorithm, kPhase, kIteration, kOperator, kKernel };
 const char* span_kind_name(SpanKind kind);
 
 struct Span {
