@@ -5,6 +5,7 @@
 #include "algos/common.hpp"
 #include "graph/properties.hpp"
 #include "profile/session.hpp"
+#include "sim/operators.hpp"
 
 namespace eclp::algos::cc {
 
@@ -71,36 +72,6 @@ vidx representative_uncharged(const std::vector<vidx>& nstat, vidx v) {
   return curr;
 }
 
-/// Process the (v, u<v) edges of one vertex with `width` cooperating
-/// threads; `lane` selects this thread's stripe (width=1 for the low-degree
-/// kernel, 32/256 for the warp/block-per-vertex kernels).
-void process_vertex_edges(sim::ThreadCtx& ctx, const graph::Csr& g,
-                          std::vector<vidx>& nstat, vidx v, u32 lane,
-                          u32 width, Profile& prof) {
-  const auto nbrs = g.neighbors(v);
-  ctx.charge_coalesced_reads(2);  // row offsets, streaming
-  // Lane 0 resolves the vertex's representative; the other lanes receive it
-  // by broadcast (one ALU step), as the warp-cooperative original does.
-  vidx vstat0;
-  if (lane == 0) {
-    vstat0 = representative(ctx, nstat, v, prof);
-  } else {
-    ctx.charge_alu(1);
-    vstat0 = representative_uncharged(nstat, v);
-  }
-  for (usize i = lane; i < nbrs.size(); i += width) {
-    const vidx u = nbrs[i];
-    // Adjacency scans coalesce across the cooperating lanes; the scattered
-    // traffic of this stage is the union-find pointer chasing inside
-    // representative()/hook().
-    ctx.charge_coalesced_reads(1);
-    if (u < v) {  // each undirected edge handled once, from the larger side
-      const vidx ostat = representative(ctx, nstat, u, prof);
-      hook(ctx, nstat, vstat0, ostat, prof);
-    }
-  }
-}
-
 }  // namespace
 
 Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
@@ -133,41 +104,42 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   std::vector<u64> initialized_pb(init_cfg.blocks, 0);
   std::vector<u64> traversed_pb(init_cfg.blocks, 0);
   profile::ScopedSpan init_span("init");
-  dev.launch("cc_init", init_cfg,
-             [&](sim::ThreadCtx& ctx) {
-               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 initialized_pb[ctx.block_idx()]++;
-                 const auto nbrs = g.neighbors(v);
-                 ctx.charge_coalesced_reads(2);  // row offsets, streaming
-                 vidx label = v;
-                 u64 traversed = 0;
-                 if (opt.init_mode == InitMode::kOwnId) {
-                   // Baseline: no neighbor scan, all merging left to the
-                   // compute kernels.
-                 } else if (opt.optimized_init) {
-                   if (!nbrs.empty()) {
-                     ++traversed;
-                     ctx.charge_reads(1);
-                     if (nbrs[0] < v) label = nbrs[0];
-                   }
-                 } else {
-                   for (const vidx u : nbrs) {
-                     ++traversed;
-                     ctx.charge_reads(1);
-                     if (u < v) {
-                       label = u;
-                       break;
-                     }
-                   }
-                 }
-                 traversed_pb[ctx.block_idx()] += traversed;
-                 if (opt.record_per_vertex_traversals) {
-                   res.init_traversal_per_vertex[v] = traversed;
-                 }
-                 nstat[v] = label;
-                 ctx.charge_coalesced_writes(1);  // own slot, streaming
-               }
-             });
+  // The init scan's neighbor traversal short-circuits (first smaller
+  // neighbor wins), so it is a compute over vertices rather than an
+  // advance over edges.
+  sim::ops::compute(
+      dev, "cc_init", init_cfg, n, [&](sim::ThreadCtx& ctx, vidx v) {
+        initialized_pb[ctx.block_idx()]++;
+        const auto nbrs = g.neighbors(v);
+        ctx.charge_coalesced_reads(2);  // row offsets, streaming
+        vidx label = v;
+        u64 traversed = 0;
+        if (opt.init_mode == InitMode::kOwnId) {
+          // Baseline: no neighbor scan, all merging left to the
+          // compute kernels.
+        } else if (opt.optimized_init) {
+          if (!nbrs.empty()) {
+            ++traversed;
+            ctx.charge_reads(1);
+            if (nbrs[0] < v) label = nbrs[0];
+          }
+        } else {
+          for (const vidx u : nbrs) {
+            ++traversed;
+            ctx.charge_reads(1);
+            if (u < v) {
+              label = u;
+              break;
+            }
+          }
+        }
+        traversed_pb[ctx.block_idx()] += traversed;
+        if (opt.record_per_vertex_traversals) {
+          res.init_traversal_per_vertex[v] = traversed;
+        }
+        nstat[v] = label;
+        ctx.charge_coalesced_writes(1);  // own slot, streaming
+      });
   for (const u64 c : initialized_pb) prof.vertices_initialized += c;
   for (const u64 c : traversed_pb) prof.init_neighbors_traversed += c;
   res.init_cycles = dev.total_cycles() - cycles_before;
@@ -192,57 +164,59 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   binning_span.end();
 
   // --- compute kernels (3, customized per degree bin; paper §2.1) -----------
+  // All three are one advance shape at different cooperative widths
+  // (thread/warp/block per vertex): lane 0 resolves the vertex's
+  // representative and the other lanes receive it by broadcast (one ALU
+  // step), as the warp-cooperative original does; every lane then stripes
+  // the adjacency list. Adjacency scans coalesce across the cooperating
+  // lanes — the scattered traffic of this stage is the union-find pointer
+  // chasing inside representative()/hook().
   profile::ScopedSpan compute_span("compute");
-  if (!low_bin.empty()) {
-    dev.launch("cc_compute_low", blocks_for(low_bin.size(), opt.threads_per_block),
-               [&](sim::ThreadCtx& ctx) {
-                 for (u64 i = ctx.global_id(); i < low_bin.size();
-                      i += ctx.grid_size()) {
-                   process_vertex_edges(ctx, g, nstat, low_bin[i], 0, 1, prof);
-                 }
-               });
-  }
+  const auto enter = [&](sim::ThreadCtx& ctx, vidx v, u32 lane) -> vidx {
+    if (lane == 0) return representative(ctx, nstat, v, prof);
+    ctx.charge_alu(1);
+    return representative_uncharged(nstat, v);
+  };
+  const auto edge = [&](sim::ThreadCtx& ctx, vidx& vstat0, vidx v, vidx u) {
+    if (u < v) {  // each undirected edge handled once, from the larger side
+      const vidx ostat = representative(ctx, nstat, u, prof);
+      hook(ctx, nstat, vstat0, ostat, prof);
+    }
+  };
+  using Shape = sim::ops::AdvanceShape;
   constexpr u32 kWarp = sim::Device::kWarpSize;
+  if (!low_bin.empty()) {
+    sim::ops::advance(dev, "cc_compute_low",
+                      blocks_for(low_bin.size(), opt.threads_per_block), g,
+                      low_bin, Shape{.width = 1}, enter, edge);
+  }
   if (!mid_bin.empty()) {
     const u64 items = static_cast<u64>(mid_bin.size()) * kWarp;
-    dev.launch("cc_compute_mid", blocks_for(items, opt.threads_per_block),
-               [&](sim::ThreadCtx& ctx) {
-                 for (u64 i = ctx.global_id(); i < items;
-                      i += ctx.grid_size()) {
-                   process_vertex_edges(ctx, g, nstat, mid_bin[i / kWarp],
-                                        static_cast<u32>(i % kWarp), kWarp,
-                                        prof);
-                 }
-               });
+    sim::ops::advance(dev, "cc_compute_mid",
+                      blocks_for(items, opt.threads_per_block), g, mid_bin,
+                      Shape{.width = kWarp}, enter, edge);
   }
   if (!high_bin.empty()) {
     const u32 width = opt.threads_per_block;
     const u64 items = static_cast<u64>(high_bin.size()) * width;
-    dev.launch("cc_compute_high", blocks_for(items, opt.threads_per_block),
-               [&](sim::ThreadCtx& ctx) {
-                 for (u64 i = ctx.global_id(); i < items;
-                      i += ctx.grid_size()) {
-                   process_vertex_edges(ctx, g, nstat, high_bin[i / width],
-                                        static_cast<u32>(i % width), width,
-                                        prof);
-                 }
-               });
+    sim::ops::advance(dev, "cc_compute_high",
+                      blocks_for(items, opt.threads_per_block), g, high_bin,
+                      Shape{.width = width}, enter, edge);
   }
 
   compute_span.end();
 
   // --- finalize: full pointer jumping ----------------------------------------
   profile::ScopedSpan finalize_span("finalize");
-  dev.launch("cc_finalize", blocks_for(n, opt.threads_per_block),
-             [&](sim::ThreadCtx& ctx) {
-               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 vidx curr = ctx.load(nstat[v]);
-                 while (curr != nstat[curr]) {
-                   curr = ctx.load(nstat[curr]);
-                 }
-                 ctx.store(nstat[v], curr);
-               }
-             });
+  sim::ops::compute(dev, "cc_finalize",
+                    blocks_for(n, opt.threads_per_block), n,
+                    [&](sim::ThreadCtx& ctx, vidx v) {
+                      vidx curr = ctx.load(nstat[v]);
+                      while (curr != nstat[curr]) {
+                        curr = ctx.load(nstat[curr]);
+                      }
+                      ctx.store(nstat[v], curr);
+                    });
 
   res.modeled_cycles = dev.total_cycles() - cycles_before;
   res.labels = std::move(nstat);
