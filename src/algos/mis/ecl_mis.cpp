@@ -4,6 +4,7 @@
 
 #include "algos/common.hpp"
 #include "profile/session.hpp"
+#include "sim/operators.hpp"
 #include "support/prng.hpp"
 
 namespace eclp::algos::mis {
@@ -72,12 +73,11 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   sim::LaunchConfig init_cfg = cfg;
   init_cfg.block_independent = true;
   profile::ScopedSpan init_span("init");
-  dev.launch("mis_init", init_cfg, [&](sim::ThreadCtx& ctx) {
-    for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-      ctx.charge_reads(2);  // degree from row offsets
-      ctx.store(stat[v], byte_of(v));
-    }
-  });
+  sim::ops::compute(dev, "mis_init", init_cfg, n,
+                    [&](sim::ThreadCtx& ctx, vidx v) {
+                      ctx.charge_reads(2);  // degree from row offsets
+                      ctx.store(stat[v], byte_of(v));
+                    });
   init_span.end();
   // Strict total order on undecided vertices under the chosen priority.
   const auto wins = [&](u8 stat_a, vidx a, u8 stat_b, vidx b) {
@@ -108,8 +108,11 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   u64 processed_since_refresh = 0;
 
   profile::ScopedSpan select_span("selection");
-  dev.launch_cooperative(
-      "mis_select", cfg,
+  // Persistent-threads convergence: each thread's step processes its owned
+  // vertices once; the device-driven iterate_until advances every
+  // unfinished thread round-robin until all report done.
+  sim::ops::iterate_until(
+      dev, "mis_select", cfg,
       [&](sim::ThreadCtx& ctx) {
         const u32 tid = ctx.global_id();
         u64 spent = 0;
