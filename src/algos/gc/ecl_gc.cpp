@@ -5,6 +5,7 @@
 
 #include "algos/common.hpp"
 #include "profile/session.hpp"
+#include "sim/operators.hpp"
 
 namespace eclp::algos::gc {
 
@@ -109,34 +110,35 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
   sim::LaunchConfig init_cfg = blocks_for(n, opt.threads_per_block);
   init_cfg.block_independent = true;
   profile::ScopedSpan init_span("init");
-  dev.launch("gc_init_degree", init_cfg,
-             [&](sim::ThreadCtx& ctx) {
-               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 u32 d = 0;
-                 for (const vidx u : g.neighbors(v)) {
-                   ctx.charge_reads(1);
-                   if (higher_priority(g, u, v)) ++d;
-                 }
-                 ctx.store(indeg[v], d);
-               }
-             });
+  // Both init kernels are advances over the full vertex set: a serial
+  // per-thread adjacency scan (width 1, reads charged flat, no row-offset
+  // charge — the hand-rolled bodies never modeled one), accumulating
+  // per-vertex state between enter and leave.
+  using Shape = sim::ops::AdvanceShape;
+  constexpr Shape init_shape{.width = 1,
+                             .row_offset_reads = 0,
+                             .edge_charge = Shape::EdgeCharge::kReads};
+  sim::ops::advance(
+      dev, "gc_init_degree", init_cfg, g, sim::ops::all_vertices(n),
+      init_shape,
+      [](sim::ThreadCtx&, vidx, u32) -> u32 { return 0; },  // in-degree
+      [&](sim::ThreadCtx&, u32& d, vidx v, vidx u) {
+        if (higher_priority(g, u, v)) ++d;
+      },
+      [&](sim::ThreadCtx& ctx, vidx v, u32& d) { ctx.store(indeg[v], d); });
   for (vidx v = 0; v < n; ++v) dag_off[v + 1] = dag_off[v] + indeg[v];
   std::vector<vidx> dag_in(dag_off[n]);
   dev.register_buffer(dag_in);
   std::vector<u8> dep_removed(dag_off[n], 0);  // Shortcut 2 edge removal
-  dev.launch("gc_init_dag", init_cfg,
-             [&](sim::ThreadCtx& ctx) {
-               for (vidx v = ctx.global_id(); v < n; v += ctx.grid_size()) {
-                 eidx pos = dag_off[v];
-                 for (const vidx u : g.neighbors(v)) {
-                   ctx.charge_reads(1);
-                   if (higher_priority(g, u, v)) {
-                     ctx.store(dag_in[pos], u);
-                     ++pos;
-                   }
-                 }
-               }
-             });
+  sim::ops::advance(
+      dev, "gc_init_dag", init_cfg, g, sim::ops::all_vertices(n), init_shape,
+      [&](sim::ThreadCtx&, vidx v, u32) { return dag_off[v]; },  // out cursor
+      [&](sim::ThreadCtx& ctx, eidx& pos, vidx v, vidx u) {
+        if (higher_priority(g, u, v)) {
+          ctx.store(dag_in[pos], u);
+          ++pos;
+        }
+      });
 
   // A vertex with k higher-priority neighbors needs at most k+1 colors.
   std::vector<u32> widths(n);
@@ -225,59 +227,57 @@ Result run(sim::Device& dev, const graph::Csr& g, const Options& opt) {
 
   constexpr u32 kWarp = sim::Device::kWarpSize;
   std::vector<vidx> next;
-  while (!small_list.empty() || !large_list.empty()) {
-    res.host_iterations++;
-    profile::ScopedSpan round_span(profile::SpanKind::kIteration, "round",
-                                   res.host_iterations);
-    if (!small_list.empty()) {
-      next.clear();
-      dev.launch("gc_run_small",
-                 blocks_for(small_list.size(), opt.threads_per_block),
-                 [&](sim::ThreadCtx& ctx) {
-                   for (u64 i = ctx.global_id(); i < small_list.size();
-                        i += ctx.grid_size()) {
-                     const vidx v = small_list[i];
-                     PassCost cost;
-                     const bool colored =
-                         coloring_pass(v, /*is_large=*/false, cost);
-                     ctx.charge_reads(cost.reads);
-                     ctx.charge_writes(cost.writes);
-                     if (!colored) next.push_back(v);
-                   }
-                 });
-      small_list.swap(next);
-    }
-    if (!large_list.empty()) {
-      // One warp per large vertex: lane 0 executes the pass, every lane
-      // carries its 1/32 share of the memory traffic — a hub's scan is
-      // spread across the warp, not serialized on one thread.
-      next.clear();
-      const u64 items = static_cast<u64>(large_list.size()) * kWarp;
-      PassCost warp_cost;  // cost of the pass lane 0 just executed
-      dev.launch("gc_run_large",
-                 blocks_for(items, opt.threads_per_block),
-                 [&](sim::ThreadCtx& ctx) {
-                   for (u64 i = ctx.global_id(); i < items;
-                        i += ctx.grid_size()) {
-                     const vidx v = large_list[i / kWarp];
-                     if (i % kWarp == 0) {
-                       warp_cost = PassCost{};
-                       if (!coloring_pass(v, /*is_large=*/true, warp_cost)) {
-                         next.push_back(v);
-                       }
-                     }
-                     ctx.charge_reads((warp_cost.reads + kWarp - 1) / kWarp);
-                     ctx.charge_writes((warp_cost.writes + kWarp - 1) /
-                                       kWarp);
-                   }
-                 });
-      large_list.swap(next);
-    }
-    // Strict JP (shortcuts off) can need as many rounds as the longest
-    // monotone-priority path; shortcutted runs converge in far fewer.
-    ECLP_CHECK_MSG(res.host_iterations <= static_cast<u64>(n) + 2,
-                   "ECL-GC failed to make progress");
-  }
+  // Host-driven convergence: each round filters the two worklists down to
+  // the vertices still uncolored. Strict JP (shortcuts off) can need as
+  // many rounds as the longest monotone-priority path, hence the n+2
+  // progress guard; shortcutted runs converge in far fewer.
+  res.host_iterations = sim::ops::iterate_until(
+      "gc_rounds",
+      [&] { return small_list.empty() && large_list.empty(); },
+      [&](u64 /*round*/) {
+        if (!small_list.empty()) {
+          next.clear();
+          sim::ops::filter(
+              dev, "gc_run_small",
+              blocks_for(small_list.size(), opt.threads_per_block),
+              small_list, 1, next,
+              [&](sim::ThreadCtx& ctx, vidx v, u32 /*lane*/) {
+                PassCost cost;
+                const bool colored = coloring_pass(v, /*is_large=*/false,
+                                                   cost);
+                ctx.charge_reads(cost.reads);
+                ctx.charge_writes(cost.writes);
+                return !colored;
+              });
+          small_list.swap(next);
+        }
+        if (!large_list.empty()) {
+          // One warp per large vertex: lane 0 executes the pass, every lane
+          // carries its 1/32 share of the memory traffic — a hub's scan is
+          // spread across the warp, not serialized on one thread.
+          next.clear();
+          PassCost warp_cost;  // cost of the pass lane 0 just executed
+          sim::ops::filter(
+              dev, "gc_run_large",
+              blocks_for(static_cast<u64>(large_list.size()) * kWarp,
+                         opt.threads_per_block),
+              large_list, kWarp, next,
+              [&](sim::ThreadCtx& ctx, vidx v, u32 lane) {
+                bool keep = false;
+                if (lane == 0) {
+                  warp_cost = PassCost{};
+                  keep = !coloring_pass(v, /*is_large=*/true, warp_cost);
+                }
+                ctx.charge_reads((warp_cost.reads + kWarp - 1) / kWarp);
+                ctx.charge_writes((warp_cost.writes + kWarp - 1) / kWarp);
+                return keep;
+              });
+          large_list.swap(next);
+        }
+      },
+      {.round_base = "round",
+       .max_rounds = static_cast<u64>(n) + 2,
+       .on_exceeded = "ECL-GC failed to make progress"});
 
   res.modeled_cycles = dev.total_cycles() - cycles_before;
   res.num_colors = count_colors(color);
