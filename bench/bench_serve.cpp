@@ -1,7 +1,7 @@
 // Serving-harness benchmark (src/serve/): cold vs. warm graph pool,
 // request throughput, and latency percentiles under concurrent load.
 //
-// Three tables:
+// Four tables:
 //   1. serve_cold_vs_warm — the same request batch served twice on one
 //      Server: the cold round pays graph generation + CSR build per
 //      distinct graph, the warm round runs entirely off the ref-counted
@@ -10,14 +10,21 @@
 //      for a mixed algorithm stream over a warm pool;
 //   3. serve_eviction — the same stream against a pool whose byte budget
 //      forces continuous eviction, quantifying what the pool budget is
-//      worth (hit rate and throughput vs. the unconstrained pool).
+//      worth (hit rate and throughput vs. the unconstrained pool);
+//   4. serve_telemetry_overhead — warm-pool throughput with telemetry off,
+//      with the metrics registry bound, and with metrics + request tracing,
+//      measured as paired alternating rounds (the acceptance bar for the
+//      telemetry subsystem is <= 5% on the metrics row).
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "gen/suite.hpp"
 #include "graph/pool.hpp"
 #include "harness/harness.hpp"
 #include "serve/server.hpp"
+#include "serve/telemetry.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 
 using namespace eclp;
@@ -183,6 +190,74 @@ int main(int argc, char** argv) {
                  std::to_string(stats.graphs.evictions)});
     }
     harness::emit(ctx, "serve_eviction", t);
+  }
+
+  // --- 4: telemetry overhead -------------------------------------------------
+  {
+    Table t("Serving: telemetry overhead on a warm pool, mixed stream");
+    t.set_header({"Telemetry", "Requests", "median ms", "req/s", "overhead"});
+
+    // The sharded counters and per-trace event buffers are the only new
+    // work on the request path, so the honest measurement is the hot one:
+    // a warm pool (no graph builds to hide behind) and the same mixed
+    // stream as the latency table.
+    const serve::Algo algos[] = {serve::Algo::kCc, serve::Algo::kGc,
+                                 serve::Algo::kMis};
+    std::vector<serve::Request> stream;
+    for (usize i = 0; i < 8 * std::size(kInputs); ++i) {
+      stream.push_back(make_request(
+          "t" + std::to_string(i), algos[i % std::size(algos)],
+          kInputs[i % std::size(kInputs)], ctx.scale));
+    }
+
+    struct Config {
+      const char* label;
+      std::unique_ptr<metrics::Registry> registry;
+      std::unique_ptr<serve::TraceLog> trace;
+      std::unique_ptr<serve::Server> server;
+      std::vector<double> round_ms;
+    };
+    Config configs[3];
+    configs[0].label = "off";
+    configs[1].label = "metrics";
+    configs[2].label = "metrics+trace";
+    for (usize i = 0; i < std::size(configs); ++i) {
+      auto& c = configs[i];
+      if (i >= 1) c.registry = std::make_unique<metrics::Registry>();
+      if (i >= 2) c.trace = std::make_unique<serve::TraceLog>();
+      serve::ServerOptions opt;
+      opt.threads = 4;
+      opt.metrics = c.registry.get();
+      opt.trace = c.trace.get();
+      c.server = std::make_unique<serve::Server>(opt);
+      c.server->serve(stream);  // warm-up: populate this server's pool
+    }
+
+    // Alternate one timed round per config within each repetition, so any
+    // machine drift lands on all three configurations equally; report the
+    // per-config median over --runs.
+    for (int run = 0; run < ctx.runs; ++run) {
+      for (auto& c : configs) {
+        Timer round_t;
+        const auto responses = c.server->serve(stream);
+        c.round_ms.push_back(round_t.milliseconds());
+        for (const auto& r : responses) {
+          ECLP_CHECK_MSG(r.status == serve::Status::kOk,
+                         r.id << ": " << r.error);
+        }
+      }
+    }
+
+    const double off_ms = percentile(configs[0].round_ms, 0.5);
+    for (auto& c : configs) {
+      const double ms = percentile(c.round_ms, 0.5);
+      const double overhead = 100.0 * (ms / off_ms - 1.0);
+      t.add_row({c.label, std::to_string(stream.size()), fmt::fixed(ms, 2),
+                 fmt::fixed(req_per_sec(stream.size(), ms), 1),
+                 c.registry == nullptr ? "baseline"
+                                       : fmt::signed_pct(overhead) + "%"});
+    }
+    harness::emit(ctx, "serve_telemetry_overhead", t);
   }
 
   return 0;

@@ -23,6 +23,17 @@ Pool::~Pool() {
   }
 }
 
+void Pool::bind_metrics(metrics::Registry& registry) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  m_hits_ = &registry.counter("pool.hits");
+  m_misses_ = &registry.counter("pool.misses");
+  m_evictions_ = &registry.counter("pool.evictions");
+  m_bytes_ = &registry.gauge("pool.bytes");
+  m_entries_ = &registry.gauge("pool.entries");
+  m_bytes_->set(static_cast<i64>(bytes_));
+  m_entries_->set(static_cast<i64>(entries_.size()));
+}
+
 Pool::Pin Pool::acquire(const std::string& key,
                         const std::function<Csr()>& build) {
   std::unique_lock<std::mutex> lk(mutex_);
@@ -47,6 +58,7 @@ Pool::Pin Pool::acquire(const std::string& key,
       e->last_use = ++clock_;
       stats_.requests++;
       stats_.hits++;
+      if (m_hits_ != nullptr) m_hits_->inc();
       Pin pin;
       pin.pool_ = this;
       pin.entry_ = e;
@@ -64,6 +76,8 @@ Pool::Pin Pool::acquire(const std::string& key,
                    .first->second.get();
     stats_.requests++;
     stats_.misses++;
+    if (m_misses_ != nullptr) m_misses_->inc();
+    if (m_entries_ != nullptr) m_entries_->set(static_cast<i64>(entries_.size()));
     lk.unlock();
     Csr g;
     try {
@@ -71,6 +85,9 @@ Pool::Pin Pool::acquire(const std::string& key,
     } catch (...) {
       lk.lock();
       entries_.erase(key);
+      if (m_entries_ != nullptr) {
+        m_entries_->set(static_cast<i64>(entries_.size()));
+      }
       built_cv_.notify_all();
       throw;
     }
@@ -82,6 +99,7 @@ Pool::Pin Pool::acquire(const std::string& key,
     e->last_use = ++clock_;
     bytes_ += e->bytes;
     if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
+    if (m_bytes_ != nullptr) m_bytes_->set(static_cast<i64>(bytes_));
     evict_to_budget_locked();
     built_cv_.notify_all();
     Pin pin;
@@ -117,6 +135,9 @@ void Pool::evict_to_budget_locked() {
     bytes_ -= victim->bytes;
     stats_.evictions++;
     entries_.erase(victim->key);
+    if (m_evictions_ != nullptr) m_evictions_->inc();
+    if (m_bytes_ != nullptr) m_bytes_->set(static_cast<i64>(bytes_));
+    if (m_entries_ != nullptr) m_entries_->set(static_cast<i64>(entries_.size()));
   }
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "support/metrics.hpp"
 
 namespace eclp::graph {
 
@@ -78,6 +79,14 @@ class Pool {
   Pin acquire(const std::string& key, const std::function<Csr()>& build);
 
   u64 byte_budget() const { return budget_; }
+
+  /// Mirror the pool's bookkeeping into live metrics instruments:
+  /// counters `pool.hits` / `pool.misses` / `pool.evictions` and gauges
+  /// `pool.bytes` / `pool.entries`, updated at classification/eviction
+  /// time under the pool lock (docs/OBSERVABILITY.md, "Runtime
+  /// telemetry"). Call before serving; the registry must outlive the pool.
+  void bind_metrics(metrics::Registry& registry);
+
   PoolStats stats() const;
   /// True when `key` is resident (test/introspection helper; the answer
   /// can be stale the moment the lock drops).
@@ -97,6 +106,15 @@ class Pool {
   /// Evict zero-pin entries, oldest first, until `bytes_ <= budget_` or
   /// nothing evictable remains. Caller holds mutex_.
   void evict_to_budget_locked();
+
+  // Optional live instruments (all null until bind_metrics). Counters are
+  // bumped where PoolStats is, gauges track bytes_/entries_ whenever they
+  // move — so a telemetry snapshot sees the same numbers stats() reports.
+  metrics::Counter* m_hits_ = nullptr;
+  metrics::Counter* m_misses_ = nullptr;
+  metrics::Counter* m_evictions_ = nullptr;
+  metrics::Gauge* m_bytes_ = nullptr;
+  metrics::Gauge* m_entries_ = nullptr;
 
   const u64 budget_;
   mutable std::mutex mutex_;

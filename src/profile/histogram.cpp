@@ -1,55 +1,8 @@
 #include "profile/histogram.hpp"
 
-#include <algorithm>
-#include <bit>
 #include <sstream>
 
-#include "support/check.hpp"
-
 namespace eclp::profile {
-
-namespace {
-
-usize bucket_of(u64 value) {
-  if (value == 0) return 0;
-  const usize b = static_cast<usize>(std::bit_width(value));  // >= 1
-  return std::min(b, Log2Histogram::kBuckets - 1);
-}
-
-}  // namespace
-
-void Log2Histogram::add(u64 value, u64 weight) {
-  buckets_[bucket_of(value)] += weight;
-}
-
-void Log2Histogram::add_all(std::span<const u64> values) {
-  for (const u64 v : values) add(v);
-}
-
-u64 Log2Histogram::total() const {
-  u64 t = 0;
-  for (const u64 b : buckets_) t += b;
-  return t;
-}
-
-usize Log2Histogram::quantile_bucket(double fraction) const {
-  ECLP_CHECK(fraction >= 0.0 && fraction <= 1.0);
-  const u64 t = total();
-  if (t == 0) return 0;
-  const double target = fraction * static_cast<double>(t);
-  u64 running = 0;
-  for (usize b = 0; b < kBuckets; ++b) {
-    running += buckets_[b];
-    if (static_cast<double>(running) >= target) return b;
-  }
-  return kBuckets - 1;
-}
-
-u64 Log2Histogram::bucket_floor(usize bucket) {
-  ECLP_CHECK(bucket < kBuckets);
-  if (bucket == 0) return 0;
-  return u64{1} << (bucket - 1);
-}
 
 std::string Log2Histogram::bucket_label(usize bucket) {
   ECLP_CHECK(bucket < kBuckets);

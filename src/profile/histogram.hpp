@@ -4,12 +4,21 @@
 // on the *distribution* behind them ("traversals are either 1 or the full
 // degree", "most threads execute few iterations while some spin for
 // hundreds"). A log2 histogram captures exactly that shape at counter cost.
+//
+// The bucketing/accumulation methods are defined inline: they sit on hot
+// paths (one add per sample), and the serving-layer metrics registry
+// (support/metrics.hpp) reuses the bucket arithmetic header-only — support
+// sits below profile in the link graph, so the shared logic must not
+// require linking eclp_profile. Only the table renderer lives in the .cpp.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/table.hpp"
 #include "support/types.hpp"
 
@@ -20,17 +29,48 @@ class Log2Histogram {
   /// Buckets: [0], [1], [2,3], [4,7], ..., [2^(kBuckets-2), inf).
   static constexpr usize kBuckets = 22;
 
-  void add(u64 value, u64 weight = 1);
+  /// Bucket index a value lands in (shared with support/metrics.hpp).
+  static usize bucket_of(u64 value) {
+    if (value == 0) return 0;
+    const usize b = static_cast<usize>(std::bit_width(value));  // >= 1
+    return std::min(b, kBuckets - 1);
+  }
+
+  void add(u64 value, u64 weight = 1) { buckets_[bucket_of(value)] += weight; }
   /// Bucket a whole sample (e.g. a BucketCounter's values()).
-  void add_all(std::span<const u64> values);
+  void add_all(std::span<const u64> values) {
+    for (const u64 v : values) add(v);
+  }
 
   u64 count(usize bucket) const { return buckets_.at(bucket); }
-  u64 total() const;
-  /// Index of the first bucket such that at least `fraction` of the mass is
-  /// at or below it (a coarse quantile).
-  usize quantile_bucket(double fraction) const;
+  u64 total() const {
+    u64 t = 0;
+    for (const u64 b : buckets_) t += b;
+    return t;
+  }
+  /// Index of the first non-empty bucket such that at least `fraction` of
+  /// the mass is at or below it (a coarse quantile). Empty buckets never
+  /// qualify — quantile_bucket(0.0) is the first bucket holding any mass,
+  /// not bucket 0 — and an empty histogram returns 0.
+  usize quantile_bucket(double fraction) const {
+    ECLP_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    const u64 t = total();
+    if (t == 0) return 0;
+    const double target = fraction * static_cast<double>(t);
+    u64 running = 0;
+    for (usize b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      running += buckets_[b];
+      if (static_cast<double>(running) >= target) return b;
+    }
+    return kBuckets - 1;
+  }
   /// Lower bound of a bucket's value range.
-  static u64 bucket_floor(usize bucket);
+  static u64 bucket_floor(usize bucket) {
+    ECLP_CHECK(bucket < kBuckets);
+    if (bucket == 0) return 0;
+    return u64{1} << (bucket - 1);
+  }
   /// Human-readable bucket label, e.g. "[4,8)".
   static std::string bucket_label(usize bucket);
 

@@ -56,11 +56,39 @@ std::string sanitize_for_filename(const std::string& id) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(options),
-      exec_pool_(options.threads),
-      graphs_(options.graph_pool_bytes) {
+    : options_(std::move(options)),
+      clock_(options_.clock_ns ? options_.clock_ns
+                               : ClockFn([] { return monotonic_ns(); })),
+      exec_pool_(options_.threads),
+      graphs_(options_.graph_pool_bytes) {
   if (!options_.profile_dir.empty()) {
     std::filesystem::create_directories(options_.profile_dir);
+  }
+  if (options_.slow_ms >= 0.0) {
+    if (options_.slow_dir.empty()) options_.slow_dir = options_.profile_dir;
+    ECLP_CHECK_MSG(!options_.slow_dir.empty(),
+                   "slow_ms needs slow_dir (or profile_dir) for artifacts");
+    std::filesystem::create_directories(options_.slow_dir);
+  }
+  if (options_.metrics != nullptr) {
+    metrics::Registry& m = *options_.metrics;
+    inst_.submitted = &m.counter("serve.submitted");
+    inst_.accepted = &m.counter("serve.accepted");
+    inst_.rejected = &m.counter("serve.rejected");
+    inst_.completed = &m.counter("serve.completed");
+    inst_.failed = &m.counter("serve.failed");
+    inst_.waves = &m.counter("serve.waves");
+    inst_.slow = &m.counter("serve.slow");
+    inst_.queue_depth = &m.gauge("serve.queue.depth");
+    inst_.queue_peak = &m.gauge("serve.queue.peak");
+    inst_.inflight = &m.gauge("serve.inflight");
+    inst_.wave_us = &m.histogram("serve.wave_us");
+    for (const Algo a :
+         {Algo::kCc, Algo::kGc, Algo::kMis, Algo::kMst, Algo::kScc}) {
+      inst_.latency_us[static_cast<usize>(a)] =
+          &m.histogram(std::string("serve.latency_us.") + algo_name(a));
+    }
+    graphs_.bind_metrics(m);
   }
   if (!options_.manual_start) start();
 }
@@ -85,8 +113,10 @@ void Server::start() {
 std::future<Response> Server::submit(Request req) {
   std::unique_lock<std::mutex> lk(mutex_);
   stats_.submitted++;
+  if (inst_.submitted != nullptr) inst_.submitted->inc();
   if (pending_.size() >= options_.max_queue) {
     stats_.rejected++;
+    if (inst_.rejected != nullptr) inst_.rejected->inc();
     Response r;
     r.id = req.id;
     r.algo = req.algo;
@@ -94,14 +124,23 @@ std::future<Response> Server::submit(Request req) {
     r.status = Status::kRejected;
     r.error = "queue full (" + std::to_string(pending_.size()) +
               " pending, bound " + std::to_string(options_.max_queue) + ")";
+    if (options_.trace != nullptr) {
+      const u64 trace = options_.trace->open(req.id);
+      json::Value fields = json::Value::object();
+      fields.set("cause", r.error);
+      options_.trace->emit(trace, "rejected", std::move(fields));
+      options_.trace->close(trace);
+    }
     std::promise<Response> p;
     p.set_value(std::move(r));
     return p.get_future();
   }
   stats_.accepted++;
+  if (inst_.accepted != nullptr) inst_.accepted->inc();
   Job job;
   job.request = std::move(req);
-  job.submit_ns = monotonic_ns();
+  job.submit_ns = now_ns();
+  admit_locked(job);
   std::future<Response> f = job.promise.get_future();
   pending_.push_back(std::move(job));
   lk.unlock();
@@ -114,14 +153,40 @@ std::future<Response> Server::enqueue(Request req) {
   space_cv_.wait(lk, [&] { return pending_.size() < options_.max_queue; });
   stats_.submitted++;
   stats_.accepted++;
+  if (inst_.submitted != nullptr) inst_.submitted->inc();
+  if (inst_.accepted != nullptr) inst_.accepted->inc();
   Job job;
   job.request = std::move(req);
-  job.submit_ns = monotonic_ns();
+  job.submit_ns = now_ns();
+  admit_locked(job);
   std::future<Response> f = job.promise.get_future();
   pending_.push_back(std::move(job));
   lk.unlock();
   pending_cv_.notify_one();
   return f;
+}
+
+/// Shared admission bookkeeping (caller holds mutex_, job not yet queued):
+/// queue depth/high-water accounting and the "admitted" trace event.
+void Server::admit_locked(Job& job) {
+  stats_.queue_depth = pending_.size() + 1;
+  if (stats_.queue_depth > stats_.queue_peak) {
+    stats_.queue_peak = stats_.queue_depth;
+  }
+  if (inst_.queue_depth != nullptr) {
+    inst_.queue_depth->set(static_cast<i64>(stats_.queue_depth));
+  }
+  if (inst_.queue_peak != nullptr) {
+    inst_.queue_peak->set(static_cast<i64>(stats_.queue_peak));
+  }
+  if (options_.trace != nullptr) {
+    job.traced = true;
+    job.trace = options_.trace->open(job.request.id);
+    json::Value fields = json::Value::object();
+    fields.set("algo", algo_name(job.request.algo));
+    fields.set("graph", job.request.graph_label());
+    options_.trace->emit(job.trace, "admitted", std::move(fields));
+  }
 }
 
 std::vector<Response> Server::serve(std::vector<Request> requests) {
@@ -146,16 +211,22 @@ void Server::dispatcher_main() {
         wave.push_back(std::move(pending_.front()));
         pending_.pop_front();
       }
+      stats_.queue_depth = 0;
+      if (inst_.queue_depth != nullptr) inst_.queue_depth->set(0);
     }
     space_cv_.notify_all();
     // One task per request on the shared work-stealing pool; the
     // dispatcher participates as worker 0, so `threads` is the
     // concurrency bound. execute() never throws (errors become
     // Status::kError responses), so no task can poison the wave.
+    const u64 wave_start = now_ns();
     exec_pool_.run(wave.size(), [&](u64 i, u32) {
-      wave[i].promise.set_value(
-          execute(wave[i].request, wave[i].submit_ns));
+      wave[i].promise.set_value(execute(wave[i]));
     });
+    if (inst_.waves != nullptr) inst_.waves->inc();
+    if (inst_.wave_us != nullptr) {
+      inst_.wave_us->observe((now_ns() - wave_start) / 1000);
+    }
   }
 }
 
@@ -208,15 +279,23 @@ graph::Csr Server::build_graph(const Request& req) const {
   return g;
 }
 
-Response Server::execute(const Request& req, u64 submit_ns) {
+Response Server::execute(const Job& job) {
+  const Request& req = job.request;
   Response r;
   r.id = req.id;
   r.algo = req.algo;
   r.graph = req.graph_label();
+  if (inst_.inflight != nullptr) inst_.inflight->add(1);
+  if (job.traced) options_.trace->emit(job.trace, "started");
   try {
     graph::Pool::Pin pin =
         graphs_.acquire(graph_key(req), [&] { return build_graph(req); });
     r.pool_hit = pin.was_hit();
+    if (job.traced) {
+      json::Value fields = json::Value::object();
+      fields.set("outcome", pin.was_hit() ? "hit" : "miss");
+      options_.trace->emit(job.trace, "pool", std::move(fields));
+    }
     const graph::Csr& g = *pin;
 
     sim::CostModel cost;
@@ -224,8 +303,14 @@ Response Server::execute(const Request& req, u64 submit_ns) {
     sim::Device dev(cost, req.seed,
                     req.seed == 0 ? sim::ScheduleMode::kDeterministic
                                   : sim::ScheduleMode::kShuffled);
+    // A session records when explicitly profiling (profile_dir) — with its
+    // output path set up front — or speculatively when the slow-request
+    // hook is armed (slow_ms >= 0), where the output path is attached only
+    // if this request turns out slow (otherwise the session is dropped
+    // without writing anything).
     std::unique_ptr<profile::Session> session;
-    if (!options_.profile_dir.empty()) {
+    const bool profiled = !options_.profile_dir.empty();
+    if (profiled || options_.slow_ms >= 0.0) {
       session = std::make_unique<profile::Session>(dev);
       session->set_meta("tool", "eclp-serve");
       session->set_meta("request", req.id);
@@ -236,8 +321,13 @@ Response Server::execute(const Request& req, u64 submit_ns) {
       if (cost.cache.enabled) {
         session->set_meta("llc", sim::cache_config_label(cost.cache));
       }
-      session->set_output(options_.profile_dir + "/" +
-                          sanitize_for_filename(req.id) + ".json");
+      if (job.traced) {
+        session->set_meta("trace", TraceLog::id_string(job.trace));
+      }
+      if (profiled) {
+        session->set_output(options_.profile_dir + "/" +
+                            sanitize_for_filename(req.id) + ".json");
+      }
     }
 
     bool verified = true;
@@ -294,6 +384,18 @@ Response Server::execute(const Request& req, u64 submit_ns) {
     }
     r.llc_hits = dev.llc_hits();
     r.llc_misses = dev.llc_misses();
+    // The slow-request hook decides *before* the session is torn down:
+    // exceeding the threshold attaches the artifact path, so the span
+    // tree is written for exactly the slow requests.
+    if (options_.slow_ms >= 0.0 &&
+        static_cast<double>(now_ns() - job.submit_ns) / 1e6 >
+            options_.slow_ms) {
+      if (inst_.slow != nullptr) inst_.slow->inc();
+      if (session != nullptr && !profiled) {
+        session->set_output(options_.slow_dir + "/" +
+                            sanitize_for_filename(req.id) + ".json");
+      }
+    }
     session.reset();  // write the per-request artifacts before responding
     ECLP_CHECK_MSG(verified, "request " << req.id
                                         << ": verification FAILED");
@@ -302,14 +404,29 @@ Response Server::execute(const Request& req, u64 submit_ns) {
     r.status = Status::kError;
     r.error = e.what();
   }
-  r.wall_ms = static_cast<double>(monotonic_ns() - submit_ns) / 1e6;
+  r.wall_ms = static_cast<double>(now_ns() - job.submit_ns) / 1e6;
+  if (inst_.latency_us[static_cast<usize>(req.algo)] != nullptr) {
+    inst_.latency_us[static_cast<usize>(req.algo)]->observe(
+        static_cast<u64>(r.wall_ms * 1e3));
+  }
+  if (inst_.inflight != nullptr) inst_.inflight->sub(1);
   {
     std::lock_guard<std::mutex> lk(mutex_);
     if (r.status == Status::kOk) {
       stats_.completed++;
+      if (inst_.completed != nullptr) inst_.completed->inc();
     } else {
       stats_.failed++;
+      if (inst_.failed != nullptr) inst_.failed->inc();
     }
+  }
+  if (job.traced) {
+    json::Value fields = json::Value::object();
+    fields.set("status", status_name(r.status));
+    fields.set("wall_us", static_cast<u64>(r.wall_ms * 1e3));
+    if (!r.error.empty()) fields.set("cause", r.error);
+    options_.trace->emit(job.trace, "finished", std::move(fields));
+    options_.trace->close(job.trace);
   }
   return r;
 }
@@ -322,6 +439,28 @@ ServerStats Server::stats() const {
   }
   s.graphs = graphs_.stats();
   return s;
+}
+
+json::Value stats_to_json(const ServerStats& s) {
+  json::Value v = json::Value::object();
+  v.set("submitted", s.submitted);
+  v.set("accepted", s.accepted);
+  v.set("rejected", s.rejected);
+  v.set("completed", s.completed);
+  v.set("failed", s.failed);
+  v.set("queue_depth", s.queue_depth);
+  v.set("queue_peak", s.queue_peak);
+  json::Value g = json::Value::object();
+  g.set("requests", s.graphs.requests);
+  g.set("hits", s.graphs.hits);
+  g.set("misses", s.graphs.misses);
+  g.set("evictions", s.graphs.evictions);
+  g.set("bytes", s.graphs.bytes);
+  g.set("peak_bytes", s.graphs.peak_bytes);
+  g.set("entries", s.graphs.entries);
+  g.set("pins", s.graphs.pins);
+  v.set("graph_pool", std::move(g));
+  return v;
 }
 
 }  // namespace eclp::serve

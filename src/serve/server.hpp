@@ -25,6 +25,7 @@
 // degrades by rejecting, not by queue growth.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <future>
 #include <memory>
@@ -34,6 +35,8 @@
 
 #include "graph/pool.hpp"
 #include "serve/request.hpp"
+#include "serve/telemetry.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 
 namespace eclp::serve {
@@ -53,16 +56,48 @@ struct ServerOptions {
   /// Do not start the dispatcher in the constructor; callers fill the
   /// queue first and call start(). Deterministic admission for tests.
   bool manual_start = false;
+  /// When set, the server registers its instruments here (and binds the
+  /// graph pool's): counters serve.{submitted,accepted,rejected,completed,
+  /// failed,waves,slow} and pool.{hits,misses,evictions}, gauges
+  /// serve.queue.{depth,peak} / serve.inflight / pool.{bytes,entries},
+  /// histograms serve.wave_us and serve.latency_us.<algo>. Must outlive
+  /// the server. Wave metrics are recorded by the dispatcher *after* the
+  /// wave's responses resolve — take a final snapshot only after the
+  /// server is destroyed (its destructor joins the dispatcher).
+  /// See docs/OBSERVABILITY.md, "Runtime telemetry".
+  metrics::Registry* metrics = nullptr;
+  /// When set, every request's lifecycle is traced (admitted/rejected/
+  /// started/pool/finished events). Must outlive the server.
+  TraceLog* trace = nullptr;
+  /// Slow-request auto-profiling threshold, in milliseconds: requests
+  /// whose wall latency exceeds it get their profile::Session span tree
+  /// written to `slow_dir` — and *only* those. Negative = off. With a
+  /// zero threshold every request is slow (the test hook).
+  double slow_ms = -1.0;
+  /// Artifact directory for slow requests (defaults to profile_dir;
+  /// required via one of the two when slow_ms >= 0).
+  std::string slow_dir;
+  /// Injectable nanosecond clock for latency measurement (admission
+  /// stamps, wall_ms, latency histograms, wave timing). Null = monotonic.
+  ClockFn clock_ns;
 };
 
 struct ServerStats {
-  u64 submitted = 0;  ///< submit/enqueue calls
-  u64 accepted = 0;   ///< admitted to the queue
-  u64 rejected = 0;   ///< bounced by admission control
-  u64 completed = 0;  ///< executed with Status::kOk
-  u64 failed = 0;     ///< executed with Status::kError
+  u64 submitted = 0;    ///< submit/enqueue calls
+  u64 accepted = 0;     ///< admitted to the queue
+  u64 rejected = 0;     ///< bounced by admission control
+  u64 completed = 0;    ///< executed with Status::kOk
+  u64 failed = 0;       ///< executed with Status::kError
+  u64 queue_depth = 0;  ///< pending requests right now
+  u64 queue_peak = 0;   ///< high-water mark of `queue_depth`
   graph::PoolStats graphs;  ///< in-process graph pool counters
 };
+
+/// Render stats as the eclp-serve --stats-json document (fields
+/// submitted/accepted/rejected/completed/failed/queue_depth/queue_peak +
+/// a "graph_pool" object mirroring PoolStats). Tests parse this back and
+/// assert hits + misses == requests.
+json::Value stats_to_json(const ServerStats& s);
 
 class Server {
  public:
@@ -98,13 +133,39 @@ class Server {
     Request request;
     std::promise<Response> promise;
     u64 submit_ns = 0;
+    u64 trace = 0;        ///< TraceLog id (valid only when traced)
+    bool traced = false;  ///< a trace was opened at admission
+  };
+
+  /// Live instruments, pre-registered in the constructor so every metric
+  /// name exists (at zero) before the first request — snapshots then do
+  /// not depend on which algorithms a workload happened to run. All null
+  /// when ServerOptions::metrics is null.
+  struct Instruments {
+    metrics::Counter* submitted = nullptr;
+    metrics::Counter* accepted = nullptr;
+    metrics::Counter* rejected = nullptr;
+    metrics::Counter* completed = nullptr;
+    metrics::Counter* failed = nullptr;
+    metrics::Counter* waves = nullptr;
+    metrics::Counter* slow = nullptr;
+    metrics::Gauge* queue_depth = nullptr;
+    metrics::Gauge* queue_peak = nullptr;
+    metrics::Gauge* inflight = nullptr;
+    metrics::Histogram* wave_us = nullptr;
+    /// Per-algorithm request latency, indexed by Algo.
+    std::array<metrics::Histogram*, 5> latency_us = {};
   };
 
   void dispatcher_main();
-  Response execute(const Request& req, u64 submit_ns);
+  void admit_locked(Job& job);
+  Response execute(const Job& job);
   graph::Csr build_graph(const Request& req) const;
+  u64 now_ns() const { return clock_(); }
 
   ServerOptions options_;
+  ClockFn clock_;        ///< resolved: options_.clock_ns or monotonic_ns
+  Instruments inst_;
   Pool exec_pool_;       ///< shared work-stealing pool (one task = one request)
   graph::Pool graphs_;   ///< shared ref-counted CSR pool
 

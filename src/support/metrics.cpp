@@ -1,0 +1,84 @@
+#include "support/metrics.hpp"
+
+#include "support/check.hpp"
+
+namespace eclp::metrics {
+
+u32 shard_index() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+u64 Histogram::Merged::quantile_floor(double fraction) const {
+  ECLP_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  if (count == 0) return 0;
+  const double target = fraction * static_cast<double>(count);
+  u64 running = 0;
+  for (usize b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    running += buckets[b];
+    if (static_cast<double>(running) >= target) {
+      return profile::Log2Histogram::bucket_floor(b);
+    }
+  }
+  return profile::Log2Histogram::bucket_floor(kBuckets - 1);
+}
+
+Histogram::Merged Histogram::merged() const {
+  Merged m;
+  for (const Shard& s : shards_) {
+    for (usize b = 0; b < kBuckets; ++b) {
+      m.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    m.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (const u64 b : m.buckets) m.count += b;
+  return m;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ECLP_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric '" << name << "' already registered as another kind");
+  auto [it, inserted] = counters_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ECLP_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric '" << name << "' already registered as another kind");
+  auto [it, inserted] = gauges_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ECLP_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                 "metric '" << name << "' already registered as another kind");
+  auto [it, inserted] = histograms_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Snapshot s;
+  // std::map iteration is already name-sorted — the property that makes
+  // every export deterministic regardless of registration order.
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back({name, h->merged()});
+  }
+  return s;
+}
+
+}  // namespace eclp::metrics

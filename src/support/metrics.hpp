@@ -1,0 +1,147 @@
+// Low-overhead runtime metrics registry for the serving layer.
+//
+// The profiling sessions (profile/session.hpp) explain *one run* in depth;
+// a serving process needs the complementary view: cheap, always-on counters
+// over *all* runs, readable while the server is live. Three instrument
+// kinds, in the classic counter/gauge/histogram taxonomy:
+//
+//  * Counter   — monotonically increasing u64 (requests, hits, rejects).
+//                Sharded: kShards cache-line-sized slots, each thread
+//                increments the slot its thread-local index hashes to, so
+//                the hot path is one relaxed atomic add with no sharing
+//                between workers. Merged (summed) on snapshot.
+//  * Gauge     — a current value that moves both ways (queue depth,
+//                in-flight requests, resident pool bytes). One relaxed
+//                atomic: gauges move at request rate, not per-element rate,
+//                so sharding would buy nothing.
+//  * Histogram — log2-bucketed value distribution (request latency, wave
+//                dispatch time), reusing profile::Log2Histogram's bucket
+//                arithmetic (header-only — support must not link profile).
+//                Sharded like counters: observe() is two relaxed adds into
+//                the caller's shard (bucket + sum); shards merge on
+//                snapshot, and p50/p90/p99 come from the merged buckets.
+//
+// Snapshot() returns every instrument name-sorted, so exports are
+// deterministic regardless of registration or execution order. Instruments
+// have stable addresses for the life of the registry: register once, keep
+// the pointer, increment forever without touching the registry mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "profile/histogram.hpp"
+#include "support/types.hpp"
+
+namespace eclp::metrics {
+
+/// Shard fan-out of counters/histograms. A power of two, sized for "a few
+/// more slots than serving workers" — collisions cost contention, not
+/// correctness.
+constexpr usize kShards = 16;
+
+/// This thread's shard slot: assigned round-robin on first use, so up to
+/// kShards concurrent threads touch disjoint cache lines.
+u32 shard_index();
+
+class Counter {
+ public:
+  void inc(u64 delta = 1) {
+    shards_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  u64 value() const {
+    u64 sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<u64> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void add(i64 delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void sub(i64 delta) { add(-delta); }
+  void set(i64 value) { v_.store(value, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr usize kBuckets = profile::Log2Histogram::kBuckets;
+
+  void observe(u64 value) {
+    Shard& s = shards_[shard_index()];
+    s.buckets[profile::Log2Histogram::bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Merged view of all shards (count/sum plus the full bucket array).
+  struct Merged {
+    u64 count = 0;
+    u64 sum = 0;
+    std::array<u64, kBuckets> buckets{};
+    /// Lower bound of the bucket holding the given quantile (the same
+    /// coarse-quantile semantics as Log2Histogram::quantile_bucket).
+    u64 quantile_floor(double fraction) const;
+  };
+  Merged merged() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<u64>, kBuckets> buckets{};
+    std::atomic<u64> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// One instrument's merged state at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  Histogram::Merged data;
+};
+
+/// A point-in-time, name-sorted view of every registered instrument.
+struct Snapshot {
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, i64>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name. The returned reference stays valid (and its
+  /// address stable) for the registry's lifetime; registering the same
+  /// name twice returns the same instrument. A name registered as one kind
+  /// cannot be re-registered as another (throws CheckFailure).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace eclp::metrics

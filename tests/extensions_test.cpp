@@ -59,6 +59,40 @@ TEST(Histogram, QuantileBucket) {
   EXPECT_GT(h.quantile_bucket(0.99), 1u);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  const profile::Log2Histogram h;
+  EXPECT_EQ(h.quantile_bucket(0.0), 0u);
+  EXPECT_EQ(h.quantile_bucket(0.5), 0u);
+  EXPECT_EQ(h.quantile_bucket(1.0), 0u);
+}
+
+TEST(Histogram, QuantileSkipsEmptyLeadingBuckets) {
+  // All mass far from bucket 0: even fraction 0.0 must land on the first
+  // bucket that actually holds samples, never on an empty bucket 0.
+  profile::Log2Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(1000);
+  const usize b = profile::Log2Histogram::bucket_of(1000);
+  EXPECT_GT(b, 0u);
+  EXPECT_EQ(h.quantile_bucket(0.0), b);
+  EXPECT_EQ(h.quantile_bucket(1.0), b);
+}
+
+TEST(Histogram, QuantileWithSingleBucketMass) {
+  profile::Log2Histogram h;
+  h.add(0);  // one sample, in bucket 0 — fraction 0.0 may return bucket 0
+  EXPECT_EQ(h.quantile_bucket(0.0), 0u);
+  EXPECT_EQ(h.quantile_bucket(0.5), 0u);
+  EXPECT_EQ(h.quantile_bucket(1.0), 0u);
+}
+
+TEST(Histogram, QuantileFractionOneReachesLastMass) {
+  profile::Log2Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(1);
+  h.add(~u64{0});  // 1% of mass in the cap bucket
+  EXPECT_EQ(h.quantile_bucket(0.5), 1u);
+  EXPECT_EQ(h.quantile_bucket(1.0), profile::Log2Histogram::kBuckets - 1);
+}
+
 TEST(Histogram, AddAllAndTableRender) {
   profile::Log2Histogram h;
   const std::vector<u64> xs = {1, 1, 2, 5, 100};

@@ -1,0 +1,157 @@
+// Tests for the serving-layer metrics registry (support/metrics.hpp):
+// sharded counter/histogram correctness under concurrency, gauge
+// semantics, find-or-create registration, and the name-sorted snapshot
+// that makes telemetry exports deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "profile/histogram.hpp"
+#include "support/metrics.hpp"
+
+namespace eclp {
+namespace {
+
+TEST(Metrics, CounterAccumulatesDeltas) {
+  metrics::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, CounterSumsAcrossConcurrentThreads) {
+  metrics::Counter c;
+  constexpr u32 kThreads = 8;
+  constexpr u64 kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (u32 t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (u64 i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), u64{kThreads} * kPerThread);
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  metrics::Gauge g;
+  g.add(10);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(Metrics, HistogramMergesShardsExactly) {
+  metrics::Histogram h;
+  constexpr u32 kThreads = 8;
+  constexpr u64 kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (u32 t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (u64 i = 0; i < kPerThread; ++i) h.observe(t);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, u64{kThreads} * kPerThread);
+  u64 expected_sum = 0;
+  for (u32 t = 0; t < kThreads; ++t) expected_sum += u64{t} * kPerThread;
+  EXPECT_EQ(m.sum, expected_sum);
+  // Values 0..7 land in log2 buckets 0,1,2,2,3,3,3,3.
+  EXPECT_EQ(m.buckets[0], kPerThread);
+  EXPECT_EQ(m.buckets[1], kPerThread);
+  EXPECT_EQ(m.buckets[2], 2 * kPerThread);
+  EXPECT_EQ(m.buckets[3], 4 * kPerThread);
+}
+
+TEST(Metrics, HistogramQuantileFloorMatchesBucketFloors) {
+  metrics::Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(1000);
+  const auto m = h.merged();
+  EXPECT_EQ(m.quantile_floor(0.50), 1u);
+  // 1000 lands in bucket [512, 1024): its floor, not the raw value.
+  EXPECT_EQ(m.quantile_floor(0.99),
+            profile::Log2Histogram::bucket_floor(
+                profile::Log2Histogram::bucket_of(1000)));
+}
+
+TEST(Metrics, EmptyHistogramQuantileIsZero) {
+  const metrics::Histogram h;
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.quantile_floor(0.0), 0u);
+  EXPECT_EQ(m.quantile_floor(0.99), 0u);
+}
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableInstruments) {
+  metrics::Registry r;
+  metrics::Counter& a = r.counter("serve.requests");
+  a.inc(3);
+  metrics::Counter& b = r.counter("serve.requests");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(&r.gauge("pool.bytes"), &r.gauge("pool.bytes"));
+  EXPECT_EQ(&r.histogram("latency"), &r.histogram("latency"));
+}
+
+TEST(Metrics, RegistryRejectsCrossKindNameCollisions) {
+  metrics::Registry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), CheckFailure);
+  EXPECT_THROW(r.histogram("x"), CheckFailure);
+  r.gauge("y");
+  EXPECT_THROW(r.counter("y"), CheckFailure);
+}
+
+TEST(Metrics, SnapshotIsNameSortedRegardlessOfRegistrationOrder) {
+  metrics::Registry r;
+  r.counter("zeta").inc();
+  r.counter("alpha").inc(2);
+  r.counter("mid").inc(3);
+  r.gauge("b.gauge").set(1);
+  r.gauge("a.gauge").set(2);
+  r.histogram("z.hist").observe(1);
+  r.histogram("a.hist").observe(2);
+  const metrics::Snapshot s = r.snapshot();
+  ASSERT_EQ(s.counters.size(), 3u);
+  EXPECT_EQ(s.counters[0].first, "alpha");
+  EXPECT_EQ(s.counters[1].first, "mid");
+  EXPECT_EQ(s.counters[2].first, "zeta");
+  EXPECT_EQ(s.counters[0].second, 2u);
+  ASSERT_EQ(s.gauges.size(), 2u);
+  EXPECT_EQ(s.gauges[0].first, "a.gauge");
+  EXPECT_EQ(s.gauges[1].first, "b.gauge");
+  ASSERT_EQ(s.histograms.size(), 2u);
+  EXPECT_EQ(s.histograms[0].name, "a.hist");
+  EXPECT_EQ(s.histograms[1].name, "z.hist");
+  EXPECT_EQ(s.histograms[0].data.count, 1u);
+}
+
+TEST(Metrics, SnapshotWhileIncrementingNeverTearsTotals) {
+  // A snapshot taken mid-increment sees some prefix of each thread's adds —
+  // never a torn or negative value. Run a writer and a snapshotter
+  // concurrently and bound-check every observation.
+  metrics::Registry r;
+  metrics::Counter& c = r.counter("c");
+  std::thread writer([&c] {
+    for (u64 i = 0; i < 50000; ++i) c.inc();
+  });
+  u64 last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const metrics::Snapshot s = r.snapshot();
+    ASSERT_EQ(s.counters.size(), 1u);
+    EXPECT_GE(s.counters[0].second, last);  // monotone under one writer
+    EXPECT_LE(s.counters[0].second, 50000u);
+    last = s.counters[0].second;
+  }
+  writer.join();
+  EXPECT_EQ(r.snapshot().counters[0].second, 50000u);
+}
+
+}  // namespace
+}  // namespace eclp

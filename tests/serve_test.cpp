@@ -503,6 +503,57 @@ TEST(Server, RejectsWhenQueueIsFullAndRecovers) {
   EXPECT_EQ(s.accepted, s.completed + s.failed);
 }
 
+TEST(Server, TracksQueueDepthAndHighWaterMark) {
+  serve::ServerOptions opt;
+  opt.threads = 2;
+  opt.manual_start = true;  // queue fills before the dispatcher drains it
+  serve::Server server(opt);
+  std::vector<std::future<serve::Response>> futures;
+  for (u32 i = 0; i < 5; ++i) {
+    futures.push_back(server.submit(
+        make_request("d" + std::to_string(i), serve::Algo::kCc, "internet")));
+  }
+  auto s = server.stats();
+  EXPECT_EQ(s.queue_depth, 5u);
+  EXPECT_EQ(s.queue_peak, 5u);
+  server.start();
+  for (auto& f : futures) f.get();
+  s = server.stats();
+  // Drained: depth returns to zero, the high-water mark stays.
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.queue_peak, 5u);
+}
+
+TEST(Server, StatsJsonRoundTripsWithConsistentInvariants) {
+  serve::Server server;
+  server.serve({
+      make_request("cc-a", serve::Algo::kCc, "rmat16.sym"),
+      make_request("cc-b", serve::Algo::kCc, "rmat16.sym"),
+      make_request("mis", serve::Algo::kMis, "internet"),
+      make_request("bad-scc", serve::Algo::kScc, "rmat16.sym"),
+  });
+  const json::Value doc =
+      json::Value::parse(serve::stats_to_json(server.stats()).dump(2));
+  for (const char* field : {"submitted", "accepted", "rejected", "completed",
+                            "failed", "queue_depth", "queue_peak"}) {
+    ASSERT_NE(doc.find(field), nullptr) << "missing field " << field;
+  }
+  const json::Value& pool = doc.at("graph_pool");
+  for (const char* field : {"requests", "hits", "misses", "evictions",
+                            "bytes", "peak_bytes", "entries", "pins"}) {
+    ASSERT_NE(pool.find(field), nullptr) << "missing pool field " << field;
+  }
+  EXPECT_EQ(pool.at("hits").as_u64() + pool.at("misses").as_u64(),
+            pool.at("requests").as_u64());
+  EXPECT_EQ(doc.at("submitted").as_u64(),
+            doc.at("accepted").as_u64() + doc.at("rejected").as_u64());
+  EXPECT_EQ(doc.at("completed").as_u64() + doc.at("failed").as_u64(), 4u);
+  EXPECT_EQ(doc.at("failed").as_u64(), 1u);  // bad-scc
+  EXPECT_EQ(doc.at("queue_depth").as_u64(), 0u);
+  EXPECT_GE(doc.at("queue_peak").as_u64(), 1u);
+  EXPECT_EQ(pool.at("pins").as_u64(), 0u);  // nothing in flight
+}
+
 TEST(Server, ExecutionFailuresBecomeTypedErrorResponses) {
   serve::Server server;
   auto responses = server.serve({

@@ -16,39 +16,18 @@
 // pool hit/miss per response.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "graph/cache.hpp"
 #include "serve/server.hpp"
+#include "serve/telemetry.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel_for.hpp"
 #include "support/timer.hpp"
 
 using namespace eclp;
-
-namespace {
-
-json::Value stats_json(const serve::ServerStats& s) {
-  json::Value v = json::Value::object();
-  v.set("submitted", s.submitted);
-  v.set("accepted", s.accepted);
-  v.set("rejected", s.rejected);
-  v.set("completed", s.completed);
-  v.set("failed", s.failed);
-  json::Value g = json::Value::object();
-  g.set("requests", s.graphs.requests);
-  g.set("hits", s.graphs.hits);
-  g.set("misses", s.graphs.misses);
-  g.set("evictions", s.graphs.evictions);
-  g.set("bytes", s.graphs.bytes);
-  g.set("peak_bytes", s.graphs.peak_bytes);
-  g.set("entries", s.graphs.entries);
-  g.set("pins", s.graphs.pins);
-  v.set("graph_pool", std::move(g));
-  return v;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli;
@@ -73,6 +52,27 @@ int main(int argc, char** argv) {
                  "Perfetto trace) under this directory",
                  "");
   cli.add_option("stats-json", "write server/pool stats JSON to this path",
+                 "");
+  cli.add_option("metrics",
+                 "append eclp.metrics snapshots (JSONL) to this path; a "
+                 "Prometheus-style .prom twin is rewritten next to it "
+                 "(see docs/OBSERVABILITY.md, Runtime telemetry)",
+                 "");
+  cli.add_option("metrics-interval-ms",
+                 "periodic snapshot interval; 0 = a single final snapshot",
+                 "0");
+  cli.add_option("trace",
+                 "write per-request lifecycle events (JSONL: admitted/"
+                 "rejected/started/pool/finished) to this path",
+                 "");
+  cli.add_option("slow-ms",
+                 "auto-attach a profiling session to requests slower than "
+                 "this many milliseconds and write their span trees to "
+                 "--slow-dir (negative = off; 0 profiles everything)",
+                 "-1");
+  cli.add_option("slow-dir",
+                 "artifact directory for slow requests (defaults to "
+                 "--profile-dir)",
                  "");
   cli.add_option("build-threads",
                  "host threads for parallel graph ingest (0 = one per "
@@ -120,17 +120,35 @@ int main(int argc, char** argv) {
   options.max_queue = static_cast<usize>(cli.get_int("max-queue"));
   options.graph_pool_bytes = static_cast<u64>(cli.get_int("pool-mb")) << 20;
   options.profile_dir = cli.get("profile-dir");
+  options.slow_ms = cli.get_double("slow-ms");
+  options.slow_dir = cli.get("slow-dir");
   const std::string admission = cli.get("admission");
   ECLP_CHECK_MSG(admission == "wait" || admission == "reject",
                  "--admission must be wait or reject");
 
-  serve::Server server(options);
+  metrics::Registry registry;
+  std::unique_ptr<serve::Telemetry> telemetry;
+  if (!cli.get("metrics").empty()) {
+    options.metrics = &registry;
+    serve::TelemetryOptions topt;
+    topt.jsonl_path = cli.get("metrics");
+    topt.interval_ms = static_cast<u64>(cli.get_int("metrics-interval-ms"));
+    telemetry = std::make_unique<serve::Telemetry>(registry, topt);
+    telemetry->start();
+  }
+  std::unique_ptr<serve::TraceLog> trace;
+  if (!cli.get("trace").empty()) {
+    trace = std::make_unique<serve::TraceLog>();
+    options.trace = trace.get();
+  }
+
+  auto server = std::make_unique<serve::Server>(options);
   const i64 repeat = std::max<i64>(1, cli.get_int("repeat"));
   std::vector<serve::Response> responses;
   Timer wall;
   for (i64 round = 0; round < repeat; ++round) {
     if (admission == "wait") {
-      auto batch = server.serve(requests);
+      auto batch = server->serve(requests);
       responses.insert(responses.end(),
                        std::make_move_iterator(batch.begin()),
                        std::make_move_iterator(batch.end()));
@@ -138,11 +156,17 @@ int main(int argc, char** argv) {
       std::vector<std::future<serve::Response>> futures;
       futures.reserve(requests.size());
       for (const serve::Request& r : requests) futures.push_back(
-          server.submit(r));
+          server->submit(r));
       for (auto& f : futures) responses.push_back(f.get());
     }
   }
   const double total_ms = wall.milliseconds();
+  const u32 serve_threads = server->threads();
+  const serve::ServerStats stats = server->stats();
+  // Destroy the server before the final telemetry snapshot: the destructor
+  // joins the dispatcher, so wave metrics recorded after the last response
+  // resolves are guaranteed to be in the registry.
+  server.reset();
 
   const std::string jsonl =
       serve::responses_to_jsonl(responses, cli.get_flag("timing"));
@@ -154,7 +178,6 @@ int main(int argc, char** argv) {
     os << jsonl;
   }
 
-  const serve::ServerStats stats = server.stats();
   const double hit_rate =
       stats.graphs.requests == 0
           ? 0.0
@@ -164,7 +187,7 @@ int main(int argc, char** argv) {
       "served %zu responses in %.1f ms (%.1f req/s) on %u threads: "
       "%llu ok, %llu failed, %llu rejected\n",
       responses.size(), total_ms, 1e3 * static_cast<double>(responses.size()) / total_ms,
-      server.threads(), static_cast<unsigned long long>(stats.completed),
+      serve_threads, static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.rejected));
   std::printf(
@@ -179,7 +202,12 @@ int main(int argc, char** argv) {
   if (!cli.get("stats-json").empty()) {
     std::ofstream os(cli.get("stats-json"));
     ECLP_CHECK_MSG(os.good(), "cannot write " << cli.get("stats-json"));
-    os << stats_json(stats).dump(2) << "\n";
+    os << serve::stats_to_json(stats).dump(2) << "\n";
+  }
+  if (telemetry != nullptr) telemetry->snapshot();  // final (or only) one
+  if (trace != nullptr) {
+    ECLP_CHECK_MSG(trace->write(cli.get("trace")),
+                   "cannot write " << cli.get("trace"));
   }
   return stats.failed == 0 ? 0 : 1;
 }
