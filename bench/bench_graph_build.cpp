@@ -1,7 +1,7 @@
 // Ingest-pipeline benchmark: serial vs. parallel CSR assembly, chunked
 // text parsing, and the content-addressed graph cache (docs/INGEST.md).
 //
-// Four tables:
+// Six tables:
 //   1. build_serial_vs_parallel — Builder::build() on the largest suite
 //      inputs' edge lists, serial vs. the three-phase parallel pipeline,
 //      with a byte-identity check between the two outputs;
@@ -12,19 +12,33 @@
 //   3. parse_serial_vs_parallel — chunked Matrix Market / edge-list /
 //      DIMACS parsing at 1 vs. N ingest threads;
 //   4. cache_cold_vs_warm — cold generate+build vs. warm cache hit for the
-//      same inputs, with the speedup factor (target: >= 5x).
+//      same inputs, with the speedup factor (target: >= 5x);
+//   5. build_peak_rss — materialized (edge list + Builder) vs. streamed
+//      (build_from_chunks, no edge list) peak RSS for the chunked
+//      generator streams; above tiny scale these rows are the scale=huge
+//      suite parameterizations (~10^8 arcs) and the streamed peak must
+//      stay under 2x the final CSR bytes;
+//   6. gen_throughput_scaling — streamed generation+build throughput
+//      (million edges per second) across ingest thread counts.
 #include <filesystem>
 #include <sstream>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "gen/stream.hpp"
 #include "gen/suite.hpp"
 #include "graph/builder.hpp"
 #include "graph/cache.hpp"
 #include "graph/dimacs.hpp"
 #include "graph/io.hpp"
+#include "graph/stream_build.hpp"
 #include "graph/transforms.hpp"
 #include "harness/harness.hpp"
 #include "support/parallel_for.hpp"
+#include "support/rss.hpp"
 #include "support/timer.hpp"
 
 using namespace eclp;
@@ -71,6 +85,54 @@ std::pair<vidx, std::vector<graph::Edge>> edges_of(const graph::Csr& g) {
     }
   }
   return {g.num_vertices(), std::move(edges)};
+}
+
+/// Bytes of the finished CSR arrays (offsets + targets + weights).
+u64 csr_bytes(const graph::Csr& g) {
+  u64 b = (static_cast<u64>(g.num_vertices()) + 1 + g.num_edges()) * 4;
+  if (g.weighted()) b += static_cast<u64>(g.num_edges()) * 4;
+  return b;
+}
+
+struct PeakSample {
+  graph::Csr g;
+  double ms = 0;
+  u64 peak_delta = 0;  ///< peak RSS above the pre-call RSS; 0 = unknown
+};
+
+/// Run fn() with the RSS watermark reset around it (support/rss.hpp).
+/// malloc_trim first, so pages freed by a previous arm are returned to
+/// the kernel instead of silently absorbing this arm's allocations.
+template <typename Fn>
+PeakSample measure_peak(Fn&& fn) {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  const bool windowed = reset_peak_rss();
+  const u64 before = current_rss_bytes();
+  PeakSample s;
+  Timer t;
+  s.g = fn();
+  s.ms = t.milliseconds();
+  const u64 peak = peak_rss_bytes();
+  if (windowed && peak > before) s.peak_delta = peak - before;
+  return s;
+}
+
+/// One build_peak_rss row: both assembly paths over the same chunk
+/// source (type-erased; the source is tiny, copying it is free).
+struct RssRow {
+  std::string name;
+  u64 emitted;  ///< canonical-sequence edge count (pre-mirror/dedupe)
+  std::function<graph::Csr()> materialized;
+  std::function<graph::Csr()> streamed;
+};
+
+template <typename Source>
+RssRow rss_row(std::string name, Source source) {
+  return {std::move(name), source.estimated_edges(),
+          [source] { return graph::build_materialized(source); },
+          [source] { return graph::build_from_chunks(source); }};
 }
 
 }  // namespace
@@ -224,6 +286,96 @@ int main(int argc, char** argv) {
     }
     graph::set_cache_dir("");
     harness::emit(ctx, "cache_cold_vs_warm", t);
+  }
+
+  // --- 5: peak RSS, materialized vs streamed --------------------------------
+  {
+    const bool huge = ctx.scale != gen::Scale::kTiny;
+    // Above tiny, measure the actual scale=huge suite parameterizations
+    // (~10^8 arcs); under bench-smoke keep the rows small and fast.
+    std::vector<RssRow> rows;
+    if (huge) {
+      const vidx un = vidx{1} << 24;
+      rows.push_back(rss_row(
+          "r4-2e23.sym (huge)",
+          gen::UniformRandomStream(un, static_cast<u64>(un) * 4, 1)));
+      rows.push_back(rss_row(
+          "rmat22.sym (huge)",
+          gen::RmatStream(22, u64{8} << 22, 0.45, 0.22, 0.22, 2)));
+      rows.push_back(rss_row(
+          "kron_g500-logn21 (huge)",
+          gen::RmatStream(21, u64{22} << 21, 0.57, 0.19, 0.19, 3)));
+      rows.push_back(rss_row(
+          "as-skitter (huge)",
+          gen::PreferentialAttachmentStream(vidx{1} << 21, 7, 4)));
+    } else {
+      rows.push_back(rss_row(
+          "uniform (tiny)", gen::UniformRandomStream(1 << 14, 1 << 16, 1)));
+      rows.push_back(rss_row(
+          "rmat (tiny)",
+          gen::RmatStream(14, 1 << 16, 0.45, 0.22, 0.22, 2)));
+      rows.push_back(rss_row(
+          "pa (tiny)",
+          gen::PreferentialAttachmentStream(1 << 14, 7, 4)));
+    }
+    const u32 fan_threads = threads > 1 ? threads : 7;
+    set_build_threads(fan_threads);
+    Table t("Peak build memory: materialized edge list vs. chunked stream (" +
+            std::to_string(fan_threads) + " ingest threads)");
+    t.set_header({"Graph", "emitted", "arcs", "csr MiB", "mat peak MiB",
+                  "mat ms", "stream peak MiB", "stream ms", "stream peak/csr",
+                  "identical"});
+    for (const auto& row : rows) {
+      // Peak RSS is a property of one execution, not a timing median —
+      // single run per arm (the huge arms are also far too big to repeat).
+      const auto mat = measure_peak(row.materialized);
+      const auto stream = measure_peak(row.streamed);
+      const bool identical = bytes_of(mat.g) == bytes_of(stream.g);
+      const double csr_mib = static_cast<double>(csr_bytes(stream.g)) /
+                             (1024.0 * 1024.0);
+      const double mat_mib =
+          static_cast<double>(mat.peak_delta) / (1024.0 * 1024.0);
+      const double stream_mib =
+          static_cast<double>(stream.peak_delta) / (1024.0 * 1024.0);
+      t.add_row({row.name, std::to_string(row.emitted),
+                 std::to_string(stream.g.num_edges()), fmt::fixed(csr_mib, 1),
+                 mat.peak_delta == 0 ? "-" : fmt::fixed(mat_mib, 1),
+                 fmt::fixed(mat.ms, 0),
+                 stream.peak_delta == 0 ? "-" : fmt::fixed(stream_mib, 1),
+                 fmt::fixed(stream.ms, 0),
+                 stream.peak_delta == 0 ? "-"
+                                        : fmt::fixed(stream_mib / csr_mib, 2),
+                 identical ? "yes" : "NO"});
+      ECLP_CHECK_MSG(identical, "streamed build diverged from materialized");
+    }
+    set_build_threads(threads);
+    harness::emit(ctx, "build_peak_rss", t);
+  }
+
+  // --- 6: streamed generation throughput across thread counts ---------------
+  {
+    const bool huge = ctx.scale != gen::Scale::kTiny;
+    const vidx un = huge ? (vidx{1} << 24) : (vidx{1} << 14);
+    const gen::UniformRandomStream source(un, static_cast<u64>(un) * 4, 1);
+    Table t(std::string("Streamed generation throughput: r4-2e23.sym (") +
+            (huge ? "huge" : "tiny") + "), chunked two-pass build");
+    t.set_header({"threads", "gen chunks", "build ms", "Medges/s"});
+    for (const u32 n_threads : {1u, 2u, 4u, 7u}) {
+      set_build_threads(n_threads);
+      Timer t_build;
+      const auto g = graph::build_from_chunks(source);
+      const double ms = t_build.milliseconds();
+      // Throughput counts canonical-sequence edges generated (each edge is
+      // emitted twice — histogram and scatter pass — but lands once).
+      const double medges =
+          static_cast<double>(source.estimated_edges()) / 1e6;
+      t.add_row({std::to_string(n_threads),
+                 std::to_string(source.num_chunks()), fmt::fixed(ms, 0),
+                 fmt::fixed(medges / (ms / 1000.0), 2)});
+      ECLP_CHECK(g.num_edges() > 0);
+    }
+    set_build_threads(threads);
+    harness::emit(ctx, "gen_throughput_scaling", t);
   }
 
   return 0;

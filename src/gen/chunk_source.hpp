@@ -1,0 +1,20 @@
+// The generator-layer name for the chunked streaming contract.
+//
+// A gen::ChunkSource is exactly a graph::ChunkedEdgeSource (see
+// graph/stream_build.hpp for the full determinism contract): a fixed
+// chunk count, and emit(chunk_id, sink) whose output is a pure function
+// of the chunk id — independent of thread count, chunk schedule, and how
+// many times the chunk has been (re)emitted. The streamed CSR pipeline
+// re-emits every chunk twice (histogram pass, scatter pass), which is
+// what buys generation at billion-edge scale without ever materializing
+// the edge list.
+#pragma once
+
+#include "graph/stream_build.hpp"
+
+namespace eclp::gen {
+
+template <typename S>
+concept ChunkSource = graph::ChunkedEdgeSource<S>;
+
+}  // namespace eclp::gen

@@ -1,0 +1,38 @@
+// Distribution kernels shared by the materializing generators
+// (generators.cpp) and their chunked streaming ports (stream.hpp). One
+// definition keeps the two paths sampling identical distributions even
+// though their RNG streams differ (sequential vs. per-block seeding).
+#pragma once
+
+#include <utility>
+
+#include "support/prng.hpp"
+#include "support/types.hpp"
+
+namespace eclp::gen {
+
+/// One RMAT edge sample in a 2^scale x 2^scale adjacency matrix: descend
+/// the matrix one bit per level, picking a quadrant with probabilities
+/// (a, b, c, 1-a-b-c).
+inline std::pair<vidx, vidx> rmat_edge(Rng& rng, u32 scale, double a,
+                                       double b, double c) {
+  vidx u = 0, v = 0;
+  for (u32 bit = 0; bit < scale; ++bit) {
+    const double r = rng.unit();
+    u <<= 1;
+    v <<= 1;
+    if (r < a) {
+      // top-left: nothing to add
+    } else if (r < a + b) {
+      v |= 1;
+    } else if (r < a + b + c) {
+      u |= 1;
+    } else {
+      u |= 1;
+      v |= 1;
+    }
+  }
+  return {u, v};
+}
+
+}  // namespace eclp::gen

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gen/distributions.hpp"
 #include "graph/builder.hpp"
 #include "support/prng.hpp"
 
@@ -16,7 +17,7 @@ Csr grid2d_torus(u32 side) {
   ECLP_CHECK(side >= 3);
   const vidx n = side * side;
   Builder b(n);
-  b.reserve(static_cast<usize>(n) * 2);
+  b.reserve_edges(static_cast<usize>(n) * 2);
   const auto id = [side](u32 x, u32 y) { return y * side + x; };
   for (u32 y = 0; y < side; ++y) {
     for (u32 x = 0; x < side; ++x) {
@@ -32,7 +33,7 @@ Csr triangulated_grid(u32 side, u64 seed) {
   const vidx n = side * side;
   Rng rng(seed);
   Builder b(n);
-  b.reserve(static_cast<usize>(n) * 3);
+  b.reserve_edges(static_cast<usize>(n) * 3);
   const auto id = [side](u32 x, u32 y) { return y * side + x; };
   for (u32 y = 0; y < side; ++y) {
     for (u32 x = 0; x < side; ++x) {
@@ -55,7 +56,7 @@ Csr uniform_random(vidx n, u64 edges, u64 seed) {
   ECLP_CHECK(n >= 2);
   Rng rng(seed);
   Builder b(n);
-  b.reserve(edges);
+  b.reserve_edges(edges);
   for (u64 e = 0; e < edges; ++e) {
     const vidx u = static_cast<vidx>(rng.below(n));
     vidx v = static_cast<vidx>(rng.below(n));
@@ -65,38 +66,12 @@ Csr uniform_random(vidx n, u64 edges, u64 seed) {
   return b.build();
 }
 
-namespace {
-
-/// One RMAT edge sample in a 2^scale x 2^scale adjacency matrix.
-std::pair<vidx, vidx> rmat_edge(Rng& rng, u32 scale, double a, double b,
-                                double c) {
-  vidx u = 0, v = 0;
-  for (u32 bit = 0; bit < scale; ++bit) {
-    const double r = rng.unit();
-    u <<= 1;
-    v <<= 1;
-    if (r < a) {
-      // top-left: nothing to add
-    } else if (r < a + b) {
-      v |= 1;
-    } else if (r < a + b + c) {
-      u |= 1;
-    } else {
-      u |= 1;
-      v |= 1;
-    }
-  }
-  return {u, v};
-}
-
-}  // namespace
-
 Csr rmat(u32 scale, u64 edges, double a, double b, double c, u64 seed) {
   ECLP_CHECK(scale >= 2 && scale <= 28);
   ECLP_CHECK(a + b + c < 1.0 + 1e-9);
   Rng rng(seed);
   Builder builder(vidx{1} << scale);
-  builder.reserve(edges);
+  builder.reserve_edges(edges);
   for (u64 e = 0; e < edges; ++e) {
     const auto [u, v] = rmat_edge(rng, scale, a, b, c);
     if (u == v) continue;
@@ -113,7 +88,7 @@ Csr preferential_attachment(vidx n, u32 m, u64 seed) {
   ECLP_CHECK(n > m && m >= 1);
   Rng rng(seed);
   Builder b(n);
-  b.reserve(static_cast<usize>(n) * m);
+  b.reserve_edges(static_cast<usize>(n) * m);
   // `targets` holds one entry per edge endpoint; sampling uniformly from it
   // is degree-proportional sampling.
   std::vector<vidx> targets;
@@ -375,7 +350,7 @@ Csr chung_lu(vidx n, double avg_degree, double exponent, double max_degree,
   };
   Builder b(n);
   const u64 edges = static_cast<u64>(avg_degree * n / 2.0);
-  b.reserve(edges);
+  b.reserve_edges(edges);
   for (u64 e = 0; e < edges; ++e) {
     const vidx u = sample();
     const vidx v = sample();

@@ -4,6 +4,7 @@
 
 #include "gen/generators.hpp"
 #include "gen/meshes.hpp"
+#include "gen/stream.hpp"
 #include "graph/cache.hpp"
 #include "graph/transforms.hpp"
 #include "support/check.hpp"
@@ -22,7 +23,10 @@ constexpr u64 kSuiteSeed = 0xec1900df11e00001ULL;
 // instead (name, scale, kSuiteSeed, this version) addresses the content.
 // BUMP THIS whenever a generator or a suite entry's parameters change, or
 // stale cache directories will keep serving the old graphs.
-constexpr u64 kSuiteCacheVersion = 1;
+// v2: suite gained scale=huge streamed entries and the Builder's CSR
+// assembly grew the chunked streaming path — old .eclg entries keyed
+// under v1 must not alias the new generation scheme.
+constexpr u64 kSuiteCacheVersion = 2;
 
 /// Wrap every entry's generator in the content-addressed graph cache
 /// (graph/cache.hpp): when ECLP_GRAPH_CACHE / --graph-cache names a
@@ -35,10 +39,8 @@ void memoize_suite(std::vector<InputSpec>& specs) {
     const std::string name = spec.name;
     spec.make = [name, generate](Scale s) {
       if (graph::cache_dir().empty()) return generate(s);
-      graph::CacheKey key;
-      key.mix("eclp-suite").mix_u64(kSuiteCacheVersion).mix(name)
-          .mix_u64(static_cast<u64>(s)).mix_u64(kSuiteSeed);
-      return graph::cache_or_build(key, [&] { return generate(s); });
+      return graph::cache_or_build(suite_cache_key(name, s),
+                                   [&] { return generate(s); });
     };
   }
 }
@@ -49,7 +51,9 @@ u64 seed_for(const char* name) {
   return h;
 }
 
-/// Pick a dimension by scale: tiny/small/default.
+/// Pick a dimension by scale: tiny/small/default. kHuge never reaches
+/// this — huge-capable entries branch to their streamed generator first,
+/// and everything else has no huge parameterization to pick.
 template <typename T>
 T by_scale(Scale s, T tiny, T small, T def) {
   switch (s) {
@@ -59,6 +63,10 @@ T by_scale(Scale s, T tiny, T small, T def) {
       return small;
     case Scale::kDefault:
       return def;
+    case Scale::kHuge:
+      ECLP_CHECK_MSG(false,
+                     "scale=huge is only available for inputs with a "
+                     "streamed generator (InputSpec::huge)");
   }
   ECLP_CHECK_MSG(false, "invalid scale");
   return def;
@@ -94,14 +102,24 @@ std::vector<InputSpec> make_general() {
                                      seed_for("amazon0601"));
                }});
 
+  // Huge-capable entries: kTiny/kSmall/kDefault keep the legacy
+  // materializing generators (their goldens are byte-stable), while
+  // kHuge streams a new ~10^8-arc graph of the same structural class
+  // through the chunked pipeline — a sequence a sequential RNG could
+  // never re-enter per chunk (gen/stream.hpp).
   v.push_back({"as-skitter",
                {22190596, 1696415, "InTopo", 13.1, 35455},
                false,
                [](Scale s) {
+                 if (s == Scale::kHuge) {
+                   return preferential_attachment_streamed(
+                       1u << 21, 7, seed_for("as-skitter"));
+                 }
                  return preferential_attachment(
                      by_scale<vidx>(s, 4000, 30000, 120000), 7,
                      seed_for("as-skitter"));
-               }});
+               },
+               /*huge=*/true});
 
   v.push_back({"citationCiteseer",
                {2313294, 268495, "PubCit", 8.6, 1318},
@@ -166,19 +184,35 @@ std::vector<InputSpec> make_general() {
                {182081864, 2097152, "Kronecker", 86.8, 213904},
                false,
                [](Scale s) {
+                 if (s == Scale::kHuge) {
+                   // The paper's actual vertex count (2^21); 22<<21
+                   // samples keep the hub skew while fitting the
+                   // single-host time budget.
+                   return kronecker_streamed(21, u64{22} << 21,
+                                             seed_for("kron_g500-logn21"));
+                 }
                  const u32 scale = by_scale<u32>(s, 11, 14, 16);
                  const u64 edges = u64{22} << scale;  // dense, hub-skewed
                  return kronecker(scale, edges, seed_for("kron_g500-logn21"));
-               }});
+               },
+               /*huge=*/true});
 
   v.push_back({"r4-2e23.sym",
                {67108846, 8388608, "random", 8.0, 26},
                false,
                [](Scale s) {
+                 if (s == Scale::kHuge) {
+                   // 2^24 vertices x 4 draws each -> ~1.3x10^8 arcs
+                   // after mirroring: past the paper's own r4-2e23.
+                   const vidx n = vidx{1} << 24;
+                   return uniform_random_streamed(
+                       n, static_cast<u64>(n) * 4, seed_for("r4-2e23.sym"));
+                 }
                  const vidx n = by_scale<vidx>(s, 4000, 60000, 250000);
                  return uniform_random(n, static_cast<u64>(n) * 4,
                                        seed_for("r4-2e23.sym"));
-               }});
+               },
+               /*huge=*/true});
 
   v.push_back({"rmat16.sym",
                {967866, 65536, "RMAT", 14.8, 569},
@@ -193,10 +227,17 @@ std::vector<InputSpec> make_general() {
                {65660814, 4194304, "RMAT", 15.7, 3687},
                false,
                [](Scale s) {
+                 if (s == Scale::kHuge) {
+                   // The paper's actual parameterization: scale 22,
+                   // 8 samples per vertex.
+                   return rmat_streamed(22, u64{8} << 22, 0.45, 0.22,
+                                        0.22, seed_for("rmat22.sym"));
+                 }
                  const u32 scale = by_scale<u32>(s, 12, 15, 17);
                  return rmat(scale, u64{8} << scale, 0.45, 0.22, 0.22,
                              seed_for("rmat22.sym"));
-               }});
+               },
+               /*huge=*/true});
 
   v.push_back({"soc-LiveJournal1",
                {85702474, 4847571, "community", 20.3, 20333},
@@ -279,9 +320,23 @@ Scale parse_scale(const std::string& s) {
   if (s == "tiny") return Scale::kTiny;
   if (s == "small") return Scale::kSmall;
   if (s == "default") return Scale::kDefault;
+  if (s == "huge") return Scale::kHuge;
   ECLP_CHECK_MSG(false, "unknown scale '" << s
-                                          << "' (tiny|small|default)");
+                                          << "' (tiny|small|default|huge)");
   return Scale::kDefault;
+}
+
+u64 suite_cache_version() {
+  // The chunk-stream version rides along so a change to the per-chunk
+  // seeding scheme moves every key even without a suite-level bump.
+  return kSuiteCacheVersion ^ (kChunkStreamVersion << 32);
+}
+
+graph::CacheKey suite_cache_key(const std::string& name, Scale s) {
+  graph::CacheKey key;
+  key.mix("eclp-suite").mix_u64(suite_cache_version()).mix(name)
+      .mix_u64(static_cast<u64>(s)).mix_u64(kSuiteSeed);
+  return key;
 }
 
 const std::vector<InputSpec>& general_inputs() {

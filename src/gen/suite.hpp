@@ -12,13 +12,18 @@
 #include <string>
 #include <vector>
 
+#include "graph/cache.hpp"
 #include "graph/csr.hpp"
 
 namespace eclp::gen {
 
-enum class Scale : u8 { kTiny = 0, kSmall = 1, kDefault = 2 };
+/// kTiny/kSmall/kDefault are the classic materialized scales. kHuge is
+/// generated through the chunked streaming pipeline (gen/stream.hpp) —
+/// ~10^8-arc graphs built in bounded memory — and exists only for the
+/// inputs whose generator family has a streaming port (InputSpec::huge).
+enum class Scale : u8 { kTiny = 0, kSmall = 1, kDefault = 2, kHuge = 3 };
 
-/// Parse "tiny"/"small"/"default" (used by bench --scale flags).
+/// Parse "tiny"/"small"/"default"/"huge" (used by bench --scale flags).
 Scale parse_scale(const std::string& s);
 
 /// The row Table 1 reports for the original input file.
@@ -39,6 +44,9 @@ struct InputSpec {
   /// directory is configured: repeat runs deserialize the finished CSR
   /// instead of regenerating and rebuilding it.
   std::function<graph::Csr(Scale)> make;
+  /// True when make() supports Scale::kHuge via the chunked streaming
+  /// pipeline; other entries CHECK-fail on kHuge.
+  bool huge = false;
 };
 
 /// The 17 general inputs (upper block of Table 1): MIS, CC, MST, GC.
@@ -48,5 +56,16 @@ const std::vector<InputSpec>& mesh_inputs();
 
 /// Look up any input by name across both blocks. Throws if unknown.
 const InputSpec& find_input(const std::string& name);
+
+/// Version tag mixed into every suite cache key (the suite's own version
+/// plus the chunk-stream seeding-scheme version). Exposed so the
+/// cache-key regression test can pin that key derivation actually moved
+/// when the builder/generator contract changed.
+u64 suite_cache_version();
+
+/// The content address memoize_suite files (name, scale) under. Stable
+/// across processes; changes exactly when suite_cache_version() or the
+/// entry's identity does.
+graph::CacheKey suite_cache_key(const std::string& name, Scale s);
 
 }  // namespace eclp::gen

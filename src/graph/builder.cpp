@@ -83,8 +83,7 @@ Csr assemble_parallel(std::vector<Edge>& edges, vidx num_vertices,
   // One chunk per worker, capped so the histogram matrix (chunks x V
   // cursors) stays within a fixed footprint on huge vertex sets.
   u64 chunks = pool.size();
-  constexpr usize kMaxHistogramEntries = usize{1} << 26;  // 256 MiB of eidx
-  while (chunks > 1 && chunks * V > kMaxHistogramEntries) --chunks;
+  while (chunks > 1 && chunks * V > kParallelHistogramEntryCap) --chunks;
   if (chunks <= 1) return assemble_serial(edges, num_vertices, opt);
 
   // Phase 1: per-chunk histogram over edge sources. Row c of `cursors` is
@@ -206,13 +205,24 @@ void Builder::add(vidx src, vidx dst, weight_t w) {
 }
 
 void Builder::add_edges(std::span<const Edge> edges) {
-  edges_.reserve(edges_.size() + edges.size());
+  // Geometric growth: size + batch would make a loop of B-edge batches
+  // reallocate (and copy the whole staging vector) once per call. Doubling
+  // amortizes that to O(total) even when no reserve_edges hint was given.
+  const usize needed = edges_.size() + edges.size();
+  if (needed > edges_.capacity()) {
+    edges_.reserve(std::max(needed, edges_.capacity() * 2));
+  }
   for (const Edge& e : edges) {
     ECLP_CHECK_MSG(e.src < num_vertices_ && e.dst < num_vertices_,
                    "edge (" << e.src << "," << e.dst << ") out of range, n="
                             << num_vertices_);
     edges_.push_back(e);
   }
+}
+
+void Builder::reserve_edges(u64 edges) {
+  edges_.reserve(static_cast<usize>(
+      std::min<u64>(edges, edges_.max_size())));
 }
 
 Csr Builder::build(const BuildOptions& opt) {
@@ -241,7 +251,7 @@ Csr Builder::build(const BuildOptions& opt) {
 Csr from_edges(vidx num_vertices, const std::vector<Edge>& edges,
                const BuildOptions& opt) {
   Builder b(num_vertices);
-  b.reserve(edges.size());
+  b.reserve_edges(edges.size());
   for (const Edge& e : edges) b.add(e.src, e.dst, e.w);
   return b.build(opt);
 }

@@ -51,10 +51,21 @@ class Builder {
   void add(vidx src, vidx dst, weight_t w = 0);
 
   /// Bulk append (range-checked). The chunk-parallel readers hand their
-  /// per-chunk buffers over in chunk order through this.
+  /// per-chunk buffers over in chunk order through this. Capacity grows
+  /// geometrically (never by just the batch size), so bursty per-chunk
+  /// emission does not reallocate the staging vector once per batch —
+  /// pass the total through reserve_edges() up front to skip the growth
+  /// entirely.
   void add_edges(std::span<const Edge> edges);
 
-  void reserve(usize edges) { edges_.reserve(edges); }
+  /// Capacity hint: generators and readers that know (or can estimate)
+  /// their edge count call this once before emitting. Deliberately u64 —
+  /// huge-scale estimates are computed in 64 bits; the builder clamps to
+  /// what the address space can hold.
+  void reserve_edges(u64 edges);
+
+  /// Staged-edge capacity, exposed for the growth-policy tests.
+  usize capacity_edges() const { return edges_.capacity(); }
 
   /// Assemble the CSR. The builder is left empty afterwards.
   Csr build(const BuildOptions& opt = {});
@@ -67,6 +78,12 @@ class Builder {
 /// Convenience: build an undirected unweighted graph from an edge list.
 Csr from_edges(vidx num_vertices, const std::vector<Edge>& edges,
                const BuildOptions& opt = {});
+
+/// Footprint cap shared by both parallel assembly paths — the COO
+/// pipeline in builder.cpp and the streamed pipeline in stream_build.hpp:
+/// at most this many (chunk, row) histogram/cursor entries (256 MiB of
+/// eidx). Chunk counts shrink to fit under it on huge vertex sets.
+inline constexpr usize kParallelHistogramEntryCap = usize{1} << 26;
 
 /// Minimum post-mirror edge count before build() switches from the serial
 /// sort to the parallel pipeline (the pool barriers do not pay for

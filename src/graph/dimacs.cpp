@@ -107,7 +107,7 @@ Csr parse_dimacs_sp(std::string_view text, bool symmetrize) {
                                       << h.edges << " arcs, file had "
                                       << arcs);
   Builder b(static_cast<vidx>(h.vertices));
-  b.reserve(arcs);
+  b.reserve_edges(arcs);
   for (const auto& ce : chunk_edges) b.add_edges(ce);
   BuildOptions opt;
   opt.directed = !symmetrize;
@@ -151,7 +151,7 @@ Csr parse_dimacs_col(std::string_view text) {
                                        << h.edges << " edges, file had "
                                        << edges);
   Builder b(static_cast<vidx>(h.vertices));
-  b.reserve(edges);
+  b.reserve_edges(edges);
   for (const auto& ce : chunk_edges) b.add_edges(ce);
   return b.build();
 }

@@ -207,7 +207,7 @@ Csr parse_matrix_market(std::string_view text) {
                                        << entries << " entries, file had "
                                        << total);
   Builder b(static_cast<vidx>(rows));
-  b.reserve(total);
+  b.reserve_edges(total);
   for (const auto& ce : chunk_edges) b.add_edges(ce);
   BuildOptions opt;
   opt.directed = !symmetric;
@@ -266,7 +266,7 @@ Csr parse_edge_list(std::string_view text, bool directed, vidx num_vertices) {
   ECLP_CHECK_MSG(n > max_id || total == 0,
                  "edge list: forced vertex count too small");
   Builder b(n);
-  b.reserve(total);
+  b.reserve_edges(total);
   for (const ChunkResult& r : results) b.add_edges(r.edges);
   BuildOptions opt;
   opt.directed = directed;

@@ -1,0 +1,285 @@
+// Chunked streaming CSR assembly: build a graph directly from a
+// re-emittable chunked edge stream, never materializing the edge list.
+//
+// The classic Builder path costs ~16 bytes/edge of COO staging on top of
+// the CSR itself and forces generation to finish before assembly starts.
+// This header replaces that with the KaGen discipline: a *chunk source*
+// exposes a fixed number of chunks and can (re)emit any chunk's edges on
+// demand, deterministically per chunk id. build_from_chunks() then runs a
+// two-pass pipeline —
+//
+//   pass 1  re-emit every chunk, accumulating per-(slot, row) degree
+//           histograms (slots group contiguous chunks so the cursor
+//           matrix stays under kParallelHistogramEntryCap);
+//   pass 2  re-emit every chunk again and scatter each edge straight into
+//           the final CSR adjacency array through per-(slot, row) cursors,
+//
+// followed by the same per-row sort + keep-first dedupe the materialized
+// pipeline runs. Peak memory is the final CSR plus the cursor matrix —
+// the edge list never exists.
+//
+// Determinism contract (docs/INGEST.md "Chunked streaming generation"):
+// emission within a chunk is sequential and a pure function of the chunk
+// id, so the concatenation of chunks in chunk order is one canonical edge
+// sequence. Both passes replay chunks in chunk order within each slot,
+// which makes the scatter a stable counting sort by source over that
+// canonical sequence — the same argument that makes assemble_parallel
+// bit-identical to the serial sort (builder.cpp). The output is therefore
+// byte-identical to materializing the canonical sequence and calling
+// from_edges(), at any build thread count and any slot grouping.
+//
+// Streams are unweighted: the sink carries (src, dst) only, and
+// build_from_chunks rejects opt.weighted. With all weights equal, equal
+// (src, dst) duplicates are indistinguishable, so byte identity survives
+// any interleaving of mirrored arcs too.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstring>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "support/parallel_for.hpp"
+
+namespace eclp::graph {
+
+/// A re-emittable chunked edge stream. `emit(chunk, sink)` must call
+/// `sink(src, dst)` for every edge of that chunk, in a fixed order that
+/// depends only on the chunk id — never on thread count, emission order
+/// across chunks, or how often the chunk was emitted before. gen::
+/// ChunkSource (gen/chunk_source.hpp) re-exports this concept for the
+/// generator layer.
+template <typename S>
+concept ChunkedEdgeSource =
+    requires(const S& s, u64 chunk, void (&sink)(vidx, vidx)) {
+      { s.num_vertices() } -> std::convertible_to<vidx>;
+      { s.num_chunks() } -> std::convertible_to<u64>;
+      { s.estimated_edges() } -> std::convertible_to<u64>;
+      s.emit(chunk, sink);
+    };
+
+/// Adapter: serve an already-materialized edge list as a chunk source
+/// (weights are dropped — chunk streams are unweighted). This is how the
+/// equivalence tests drive every suite input, whatever generator built it,
+/// through the streamed pipeline. The span must outlive the adapter.
+class VectorChunkSource {
+ public:
+  VectorChunkSource(vidx num_vertices, std::span<const Edge> edges,
+                    u64 chunks)
+      : num_vertices_(num_vertices),
+        edges_(edges),
+        chunks_(std::max<u64>(1, std::min<u64>(chunks, std::max<usize>(
+                                                   1, edges.size())))) {}
+
+  vidx num_vertices() const { return num_vertices_; }
+  u64 num_chunks() const { return chunks_; }
+  u64 estimated_edges() const { return edges_.size(); }
+
+  template <typename Sink>
+  void emit(u64 chunk, Sink&& sink) const {
+    const auto [begin, end] = chunk_range(edges_.size(), chunks_, chunk);
+    for (u64 i = begin; i < end; ++i) sink(edges_[i].src, edges_[i].dst);
+  }
+
+ private:
+  vidx num_vertices_;
+  std::span<const Edge> edges_;
+  u64 chunks_;
+};
+
+namespace detail {
+
+/// Slot count for the streamed pipeline: one slot per pool worker (1 when
+/// ingest is sequential), never more than the source has chunks, and
+/// capped so the cursor matrix (slots x V entries of eidx) stays inside
+/// kParallelHistogramEntryCap — the same footprint bound the materialized
+/// pipeline applies (builder.cpp).
+inline u64 stream_build_slots(u64 chunks, usize num_vertices) {
+  Pool* pool = build_pool();
+  u64 slots = pool == nullptr ? 1 : pool->size();
+  slots = std::max<u64>(1, std::min(slots, chunks));
+  const usize v = std::max<usize>(1, num_vertices);
+  while (slots > 1 && slots * v > kParallelHistogramEntryCap) --slots;
+  return slots;
+}
+
+}  // namespace detail
+
+/// Assemble a CSR straight from a chunk source, byte-identical to
+/// materializing the source's canonical edge sequence (chunks
+/// concatenated in chunk order) and calling from_edges() with the same
+/// options. Unweighted only.
+template <ChunkedEdgeSource S>
+Csr build_from_chunks(const S& source, const BuildOptions& opt = {}) {
+  ECLP_CHECK_MSG(!opt.weighted, "chunk streams are unweighted");
+  const vidx num_vertices = source.num_vertices();
+  const usize V = num_vertices;
+  const u64 chunks = std::max<u64>(1, source.num_chunks());
+  const u64 slots = detail::stream_build_slots(chunks, V);
+  Pool* pool = build_pool();
+
+  // Pass 1: per-slot degree histograms over the re-emitted stream. Mirror
+  // arcs are counted here too, so the mirrored edge list still never
+  // materializes. Row `slot * V + src` is written only by the worker
+  // draining that slot's chunk range.
+  std::vector<eidx> cursors(slots * V, 0);
+  parallel_for_chunks(pool, chunks, slots,
+                      [&](u64 slot, u64 cbegin, u64 cend, u32) {
+                        eidx* mine = cursors.data() + slot * V;
+                        const auto count = [&](vidx u, vidx v) {
+                          ECLP_CHECK_MSG(
+                              u < num_vertices && v < num_vertices,
+                              "edge (" << u << "," << v
+                                       << ") out of range, n="
+                                       << num_vertices);
+                          if (u == v) {
+                            if (opt.remove_self_loops) return;
+                            mine[u] += opt.directed ? 1 : 2;
+                          } else {
+                            mine[u]++;
+                            if (!opt.directed) mine[v]++;
+                          }
+                        };
+                        for (u64 c = cbegin; c < cend; ++c) {
+                          source.emit(c, count);
+                        }
+                      });
+
+  // Row starts (exclusive prefix over per-row totals), then a column-wise
+  // exclusive scan turning the histograms into per-(slot, row) scatter
+  // cursors — the same two phases as the materialized pipeline.
+  std::vector<eidx> row_start(V + 1, 0);
+  {
+    u64 running = 0;
+    for (usize s = 0; s < V; ++s) {
+      row_start[s] = static_cast<eidx>(running);
+      for (u64 c = 0; c < slots; ++c) running += cursors[c * V + s];
+    }
+    ECLP_CHECK_MSG(running <= static_cast<u64>(kNoEdge),
+                   "streamed graph exceeds 32-bit edge indices ("
+                       << running << " arcs)");
+    row_start[V] = static_cast<eidx>(running);
+  }
+  parallel_for_chunks(pool, V, slots, [&](u64, u64 begin, u64 end, u32) {
+    for (u64 s = begin; s < end; ++s) {
+      eidx cursor = row_start[s];
+      for (u64 c = 0; c < slots; ++c) {
+        const eidx count = cursors[c * V + s];
+        cursors[c * V + s] = cursor;
+        cursor += count;
+      }
+    }
+  });
+
+  // Pass 2: re-emit every chunk and scatter arcs (originals and mirrors
+  // interleaved) straight into the final adjacency array. Cursor slots
+  // are private per (slot, row), so no atomics; within every row, slot
+  // order equals chunk order equals canonical order.
+  std::vector<vidx> targets(row_start[V]);
+  parallel_for_chunks(pool, chunks, slots,
+                      [&](u64 slot, u64 cbegin, u64 cend, u32) {
+                        eidx* cursor = cursors.data() + slot * V;
+                        const auto scatter = [&](vidx u, vidx v) {
+                          if (u == v) {
+                            if (opt.remove_self_loops) return;
+                            targets[cursor[u]++] = u;
+                            if (!opt.directed) targets[cursor[u]++] = u;
+                          } else {
+                            targets[cursor[u]++] = v;
+                            if (!opt.directed) targets[cursor[v]++] = u;
+                          }
+                        };
+                        for (u64 c = cbegin; c < cend; ++c) {
+                          source.emit(c, scatter);
+                        }
+                      });
+  cursors.clear();
+  cursors.shrink_to_fit();
+
+  // Per-row sort + keep-first dedupe, in place. Equal u32 values are
+  // interchangeable, so a plain sort yields the same bytes as the
+  // materialized pipeline's stable variant. More chunks than workers so
+  // stealing can rebalance hub rows.
+  std::vector<eidx> kept(V, 0);
+  const u64 row_chunks = std::min<u64>(std::max<usize>(1, V), slots * 8);
+  parallel_for_chunks(pool, V, row_chunks, [&](u64, u64 bv, u64 ev, u32) {
+    for (u64 s = bv; s < ev; ++s) {
+      vidx* const begin = targets.data() + row_start[s];
+      vidx* const end = targets.data() + row_start[s + 1];
+      std::sort(begin, end);
+      if (opt.dedupe) {
+        kept[s] = static_cast<eidx>(std::unique(begin, end) - begin);
+      } else {
+        kept[s] = static_cast<eidx>(end - begin);
+      }
+    }
+  });
+
+  std::vector<eidx> offsets(V + 1, 0);
+  for (usize s = 0; s < V; ++s) offsets[s + 1] = offsets[s] + kept[s];
+
+  // Compact the surviving prefixes left, in place (a fresh copy would
+  // spike peak memory right at the worst moment). Phase A squeezes each
+  // segment's rows against the segment's own base — reads and writes stay
+  // inside the segment, so segments run in parallel. Phase B then slides
+  // each segment's now-contiguous block down to its final offset; that
+  // move can cross into the previous segment's old span, so it runs
+  // serially, ascending (dest <= src throughout, memmove handles the
+  // overlap).
+  parallel_for_chunks(pool, V, row_chunks,
+                      [&](u64, u64 bv, u64 ev, u32) {
+                        eidx w = row_start[bv];
+                        for (u64 s = bv; s < ev; ++s) {
+                          vidx* const from = targets.data() + row_start[s];
+                          if (w != row_start[s] && kept[s] != 0) {
+                            std::memmove(targets.data() + w, from,
+                                         kept[s] * sizeof(vidx));
+                          }
+                          w += kept[s];
+                        }
+                      });
+  for (u64 c = 0; c < row_chunks; ++c) {
+    const auto [bv, ev] = chunk_range(V, row_chunks, c);
+    const eidx dest = offsets[bv];
+    const eidx src = row_start[bv];
+    const eidx count = offsets[ev] - offsets[bv];
+    if (dest != src && count != 0) {
+      std::memmove(targets.data() + dest, targets.data() + src,
+                   static_cast<usize>(count) * sizeof(vidx));
+    }
+  }
+  // resize() keeps the capacity — a shrink_to_fit here would briefly hold
+  // both buffers, defeating the bounded-memory point. The slack is the
+  // dedupe loss only.
+  targets.resize(offsets[V]);
+  return Csr::from_parts(num_vertices, std::move(offsets),
+                         std::move(targets), {}, opt.directed);
+}
+
+/// Materialize the source's canonical edge sequence (chunks in chunk
+/// order). Reference semantics for build_from_chunks; tests and the
+/// peak-RSS bench use it as the "materialized" arm.
+template <ChunkedEdgeSource S>
+std::vector<Edge> materialize_chunks(const S& source) {
+  std::vector<Edge> edges;
+  edges.reserve(source.estimated_edges());
+  for (u64 c = 0; c < std::max<u64>(1, source.num_chunks()); ++c) {
+    source.emit(c, [&](vidx u, vidx v) { edges.push_back({u, v, 0}); });
+  }
+  return edges;
+}
+
+/// The legacy path over a chunk source: materialize, then Builder::build.
+template <ChunkedEdgeSource S>
+Csr build_materialized(const S& source, const BuildOptions& opt = {}) {
+  Builder b(source.num_vertices());
+  b.reserve_edges(source.estimated_edges());
+  for (u64 c = 0; c < std::max<u64>(1, source.num_chunks()); ++c) {
+    source.emit(c, [&](vidx u, vidx v) { b.add(u, v); });
+  }
+  return b.build(opt);
+}
+
+}  // namespace eclp::graph

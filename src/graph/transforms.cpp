@@ -8,7 +8,7 @@ namespace eclp::graph {
 
 Csr transpose(const Csr& g) {
   Builder b(g.num_vertices());
-  b.reserve(g.num_edges());
+  b.reserve_edges(g.num_edges());
   for (vidx u = 0; u < g.num_vertices(); ++u) {
     const auto nbrs = g.neighbors(u);
     for (usize i = 0; i < nbrs.size(); ++i) {
@@ -26,7 +26,7 @@ Csr transpose(const Csr& g) {
 
 Csr symmetrize(const Csr& g) {
   Builder b(g.num_vertices());
-  b.reserve(g.num_edges());
+  b.reserve_edges(g.num_edges());
   for (vidx u = 0; u < g.num_vertices(); ++u) {
     const auto nbrs = g.neighbors(u);
     for (usize i = 0; i < nbrs.size(); ++i) {
@@ -66,7 +66,7 @@ Csr assemble_as_is(Builder& b, const Csr& original) {
 
 Csr remove_self_loops(const Csr& g) {
   Builder b(g.num_vertices());
-  b.reserve(g.num_edges());
+  b.reserve_edges(g.num_edges());
   for (vidx u = 0; u < g.num_vertices(); ++u) {
     const auto nbrs = g.neighbors(u);
     for (usize i = 0; i < nbrs.size(); ++i) {
@@ -88,7 +88,7 @@ Csr relabel(const Csr& g, std::span<const vidx> perm) {
     seen[p] = true;
   }
   Builder b(g.num_vertices());
-  b.reserve(g.num_edges());
+  b.reserve_edges(g.num_edges());
   for (vidx u = 0; u < g.num_vertices(); ++u) {
     const auto nbrs = g.neighbors(u);
     for (usize i = 0; i < nbrs.size(); ++i) {

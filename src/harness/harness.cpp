@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "gen/stream.hpp"
 #include "graph/cache.hpp"
 #include "support/parallel_for.hpp"
 #include "support/stats.hpp"
@@ -93,7 +94,10 @@ BenchContext parse(int argc, const char* const* argv,
   ctx.cli = std::move(cli);
   ctx.bench_name =
       std::filesystem::path(argc > 0 ? argv[0] : "bench").filename().string();
-  ctx.cli.add_option("scale", "input scale: tiny|small|default", "small");
+  ctx.cli.add_option("scale",
+                     "input scale: tiny|small|default|huge (huge exists "
+                     "only for streamed entries, see docs/INGEST.md)",
+                     "small");
   ctx.cli.add_option("out", "directory for CSV copies", "bench_results");
   ctx.cli.add_option("runs", "repetitions for median measurements", "3");
   ctx.cli.add_option("json",
@@ -118,6 +122,11 @@ BenchContext parse(int argc, const char* const* argv,
                      "content-addressed .eclg cache directory — repeat runs "
                      "skip graph generation/parsing/build; overrides "
                      "ECLP_GRAPH_CACHE",
+                     "");
+  ctx.cli.add_option("gen-chunks",
+                     "chunk count for streamed (scale=huge) generation — "
+                     "scheduling granularity only, the generated graph is "
+                     "chunk-count-invariant (0 = default)",
                      "");
   ctx.cli.add_option("reorder",
                      "vertex reordering applied to every input: natural, "
@@ -147,6 +156,9 @@ BenchContext parse(int argc, const char* const* argv,
   }
   if (!ctx.cli.get("graph-cache").empty()) {
     graph::set_cache_dir(ctx.cli.get("graph-cache"));
+  }
+  if (!ctx.cli.get("gen-chunks").empty()) {
+    gen::set_gen_chunks(static_cast<u64>(ctx.cli.get_int("gen-chunks")));
   }
   ctx.reorder_spec = graph::ReorderSpec::parse(ctx.cli.get("reorder"));
   ctx.llc = sim::parse_cache_config(ctx.cli.get("llc"));

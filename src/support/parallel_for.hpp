@@ -45,17 +45,27 @@ inline std::pair<u64, u64> chunk_range(u64 total, u64 chunks, u64 chunk) {
   return {begin, begin + per + (chunk < extra ? 1 : 0)};
 }
 
+/// The chunk count parallel_for_chunks() actually runs for (total,
+/// chunks): at least 1, never more than `total` (0 when total is 0 — no
+/// chunks run at all). Callers that size per-chunk state (histogram rows,
+/// shard buffers) use this so their arrays line up with the loop's chunk
+/// ids exactly.
+inline u64 clamped_chunks(u64 total, u64 chunks) {
+  if (total == 0) return 0;
+  const u64 c = chunks < 1 ? 1 : chunks;
+  return c > total ? total : c;
+}
+
 /// Run fn(chunk, begin, end, worker) for every chunk of [0, total) split
-/// into at most `chunks` contiguous ranges (never more than `total`).
-/// Executes inline, in chunk order, when `pool` is null or one chunk
-/// suffices; otherwise the chunks are distributed over the pool's workers
-/// and this call returns only once all of them finished (rethrowing the
-/// lowest failing chunk's exception, per Pool::run).
+/// into clamped_chunks(total, chunks) contiguous ranges. Executes inline,
+/// in chunk order, when `pool` is null or one chunk suffices; otherwise
+/// the chunks are distributed over the pool's workers and this call
+/// returns only once all of them finished (rethrowing the lowest failing
+/// chunk's exception, per Pool::run).
 template <typename Fn>
 void parallel_for_chunks(Pool* pool, u64 total, u64 chunks, Fn&& fn) {
-  if (total == 0) return;
-  u64 c = chunks < 1 ? 1 : chunks;
-  if (c > total) c = total;
+  const u64 c = clamped_chunks(total, chunks);
+  if (c == 0) return;
   if (pool == nullptr || c == 1) {
     const u32 worker = current_worker_slot();
     for (u64 chunk = 0; chunk < c; ++chunk) {

@@ -1,0 +1,48 @@
+#include "support/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace eclp {
+
+namespace {
+
+// Parse "<Field>:   <kB> kB" out of /proc/self/status. Returns 0 when the
+// file or the field is missing (non-Linux, masked procfs).
+u64 status_field_bytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const usize field_len = std::strlen(field);
+  char line[256];
+  u64 bytes = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &kb) == 1) {
+      bytes = static_cast<u64>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+u64 peak_rss_bytes() { return status_field_bytes("VmHWM"); }
+
+u64 current_rss_bytes() { return status_field_bytes("VmRSS"); }
+
+bool reset_peak_rss() {
+  // Writing "5" to clear_refs resets the peak-RSS watermark (see
+  // proc(5)). Needs a writable procfs; fails cleanly without one.
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace eclp

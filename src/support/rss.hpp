@@ -1,0 +1,34 @@
+// Process-memory sampling for the bounded-memory benches and smokes.
+//
+// Linux accounts a process's resident-set high-water mark as VmHWM in
+// /proc/self/status; the kernel lets us reset it through
+// /proc/self/clear_refs, which turns VmHWM into a windowed peak meter:
+//
+//   reset_peak_rss();
+//   auto g = build_huge_graph();
+//   u64 peak = peak_rss_bytes();   // peak DURING the build, not since exec
+//
+// bench_graph_build's build_peak_rss table and tests/gen_smoke.cmake's RSS
+// ceiling assertion are built on exactly this pattern. On kernels or
+// platforms where either file is unavailable the samplers degrade to 0 /
+// false and callers skip their memory assertions.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace eclp {
+
+/// Peak resident set size (VmHWM) in bytes; 0 when unavailable.
+u64 peak_rss_bytes();
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+u64 current_rss_bytes();
+
+/// Reset the peak-RSS watermark to the current RSS, so the next
+/// peak_rss_bytes() reads the high-water mark of the work in between.
+/// Returns false when the kernel interface is unavailable (the watermark
+/// then still covers process lifetime, and callers should skip
+/// delta-based assertions).
+bool reset_peak_rss();
+
+}  // namespace eclp

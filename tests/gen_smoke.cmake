@@ -1,0 +1,77 @@
+# Chunked-generation smoke check, run as `cmake -P` by the gen-smoke
+# ctest label.
+#
+# Inputs (all -D): ECLP_RUN (tool path), INPUT (suite input name with a
+# streamed scale=huge generator), WORK_DIR (scratch directory, recreated
+# every run), RSS_CEILING_MIB (peak-RSS budget for the cold run).
+#
+# Steps:
+#  1. eclp-run --scale=huge --graph-cache=$WORK_DIR/cache — cold run; the
+#     graph is generated through the chunked streaming path (no edge list
+#     is ever materialized), must succeed, must populate the cache with at
+#     least one .eclg entry, and the "peak rss: N MiB" line it prints must
+#     stay under RSS_CEILING_MIB. A report of 0 MiB means procfs is not
+#     available (non-Linux host), in which case the ceiling check is
+#     skipped rather than failed.
+#  2. an identical warm run — must succeed off the cache hit and print the
+#     same modeled result line, since the streamed build is deterministic
+#     and cached CSRs are bit-identical.
+foreach(var ECLP_RUN INPUT WORK_DIR RSS_CEILING_MIB)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "gen_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_dir "${WORK_DIR}/cache")
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=huge
+          --graph-cache=${cache_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cold_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold huge-scale run failed (${rc}):\n${cold_out}\n${err}")
+endif()
+
+file(GLOB entries "${cache_dir}/*.eclg")
+list(LENGTH entries num_entries)
+if(num_entries EQUAL 0)
+  message(FATAL_ERROR "cold run left no .eclg entries in ${cache_dir}")
+endif()
+
+# The streamed two-pass build must stay within a fixed multiple of the
+# final CSR footprint; eclp-run prints the process-lifetime peak for
+# exactly this assertion.
+string(REGEX MATCH "peak rss: ([0-9]+) MiB" _ "${cold_out}")
+if(NOT DEFINED CMAKE_MATCH_1)
+  message(FATAL_ERROR "cold run printed no 'peak rss: N MiB' line:\n${cold_out}")
+endif()
+set(peak_mib "${CMAKE_MATCH_1}")
+if(peak_mib EQUAL 0)
+  message(STATUS "gen smoke ${INPUT}: procfs unavailable, skipping RSS ceiling")
+elseif(peak_mib GREATER_EQUAL RSS_CEILING_MIB)
+  message(FATAL_ERROR "cold huge-scale run peaked at ${peak_mib} MiB "
+          ">= ceiling ${RSS_CEILING_MIB} MiB — the streamed build is no "
+          "longer memory-bounded")
+endif()
+
+execute_process(
+  COMMAND "${ECLP_RUN}" --algo=cc --input=${INPUT} --scale=huge
+          --graph-cache=${cache_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE warm_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm cached run failed (${rc}):\n${warm_out}\n${err}")
+endif()
+string(REGEX MATCH "CC: [^\n]* modeled cycles" cold_line "${cold_out}")
+string(REGEX MATCH "CC: [^\n]* modeled cycles" warm_line "${warm_out}")
+if(cold_line STREQUAL "")
+  message(FATAL_ERROR "cold run printed no CC result line:\n${cold_out}")
+endif()
+if(NOT cold_line STREQUAL warm_line)
+  message(FATAL_ERROR "warm run diverged from cold run:\n"
+          "  cold: ${cold_line}\n  warm: ${warm_line}")
+endif()
+
+message(STATUS "gen smoke ${INPUT}: ok (peak rss ${peak_mib} MiB "
+        "< ${RSS_CEILING_MIB} MiB)")

@@ -183,7 +183,48 @@ TEST(Suite, ScaleParsing) {
   EXPECT_EQ(parse_scale("tiny"), Scale::kTiny);
   EXPECT_EQ(parse_scale("small"), Scale::kSmall);
   EXPECT_EQ(parse_scale("default"), Scale::kDefault);
-  EXPECT_THROW(parse_scale("huge"), CheckFailure);
+  EXPECT_EQ(parse_scale("huge"), Scale::kHuge);
+  EXPECT_THROW(parse_scale("gigantic"), CheckFailure);
+}
+
+TEST(Suite, HugeScaleIsFlaggedOnStreamedEntriesOnly) {
+  // Exactly the four entries whose generator family has a streaming port
+  // (gen/stream.hpp) advertise scale=huge.
+  std::vector<std::string> huge;
+  for (const auto& spec : general_inputs()) {
+    if (spec.huge) huge.push_back(spec.name);
+  }
+  for (const auto& spec : mesh_inputs()) {
+    if (spec.huge) huge.push_back(spec.name);
+  }
+  EXPECT_EQ(huge, (std::vector<std::string>{
+                      "as-skitter", "kron_g500-logn21", "r4-2e23.sym",
+                      "rmat22.sym"}));
+  // Entries without a streamed generator reject kHuge loudly instead of
+  // silently returning some other scale.
+  EXPECT_THROW(find_input("2d-2e20.sym").make(Scale::kHuge), CheckFailure);
+}
+
+TEST(Suite, CacheKeyMovedWithTheVersionBump) {
+  // Regression pin for the kSuiteCacheVersion=2 bump: stale .eclg files
+  // written by the v1 builder must not alias the new keys. The v1 key for
+  // (r4-2e23.sym, tiny) was produced by mixing version 1 with no
+  // chunk-stream component; pin the current derivation's output so any
+  // accidental revert (or accidental re-keying) fails here.
+  graph::CacheKey v1;
+  v1.mix("eclp-suite").mix_u64(1).mix("r4-2e23.sym")
+      .mix_u64(static_cast<u64>(Scale::kTiny))
+      .mix_u64(0xec1900df11e00001ULL);
+  EXPECT_NE(suite_cache_key("r4-2e23.sym", Scale::kTiny).hex(), v1.hex());
+  // The chunk-stream seeding-scheme version participates: a future bump
+  // of either component moves every key.
+  EXPECT_EQ(suite_cache_version() & 0xffffffffULL, 2u);
+  EXPECT_NE(suite_cache_version() >> 32, 0u);
+  // Keys separate by name and by scale (huge included).
+  EXPECT_NE(suite_cache_key("r4-2e23.sym", Scale::kTiny).hex(),
+            suite_cache_key("rmat22.sym", Scale::kTiny).hex());
+  EXPECT_NE(suite_cache_key("r4-2e23.sym", Scale::kHuge).hex(),
+            suite_cache_key("r4-2e23.sym", Scale::kDefault).hex());
 }
 
 class SuiteInputTest : public ::testing::TestWithParam<usize> {};

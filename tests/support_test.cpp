@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/prng.hpp"
+#include "support/rss.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -310,6 +312,36 @@ TEST(Cli, UsageMentionsOptions) {
   const std::string usage = cli.usage("prog");
   EXPECT_NE(usage.find("--scale"), std::string::npos);
   EXPECT_NE(usage.find("input scale"), std::string::npos);
+}
+
+// --- rss ---------------------------------------------------------------------
+
+TEST(Rss, SamplersReadTheProcess) {
+  // On Linux both counters come from /proc/self/status and are nonzero
+  // for any live process; on platforms without procfs they degrade to 0.
+  const u64 current = current_rss_bytes();
+  const u64 peak = peak_rss_bytes();
+  if (current == 0 && peak == 0) GTEST_SKIP() << "procfs unavailable";
+  EXPECT_GT(current, u64{1} << 20);  // a test binary resident under 1 MiB?
+  EXPECT_GE(peak, current / 2);      // peak can lag briefly after a reset
+}
+
+TEST(Rss, ResetWindowsThePeakAroundAnAllocation) {
+  if (!reset_peak_rss()) GTEST_SKIP() << "clear_refs unavailable";
+  const u64 before = peak_rss_bytes();
+  if (before == 0) GTEST_SKIP() << "procfs unavailable";
+  constexpr usize kBytes = usize{64} << 20;
+  {
+    // Touch every page so the allocation is actually resident.
+    std::vector<char> block(kBytes, 1);
+    volatile char sink = block[kBytes - 1];
+    (void)sink;
+    EXPECT_GE(peak_rss_bytes(), before + (kBytes * 3) / 4);
+  }
+  // A second reset drops the watermark back near the (now block-free)
+  // current RSS — this windowing is what the peak-RSS bench relies on.
+  ASSERT_TRUE(reset_peak_rss());
+  EXPECT_LT(peak_rss_bytes(), before + kBytes / 2);
 }
 
 }  // namespace

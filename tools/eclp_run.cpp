@@ -22,6 +22,7 @@
 #include "algos/mis/ecl_mis.hpp"
 #include "algos/mst/ecl_mst.hpp"
 #include "algos/scc/ecl_scc.hpp"
+#include "gen/stream.hpp"
 #include "gen/suite.hpp"
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
@@ -30,6 +31,7 @@
 #include "sim/trace.hpp"
 #include "support/cli.hpp"
 #include "support/parallel_for.hpp"
+#include "support/rss.hpp"
 #include "support/timer.hpp"
 
 using namespace eclp;
@@ -81,7 +83,10 @@ int main(int argc, char** argv) {
   cli.add_option("algo", "cc | gc | mis | mst | scc", "cc");
   cli.add_option("graph", "graph file (.eclg/.mtx/.gr/.col/.el)", "");
   cli.add_option("input", "suite input name (alternative to --graph)", "");
-  cli.add_option("scale", "tiny|small|default (with --input)", "small");
+  cli.add_option("scale",
+                 "tiny|small|default|huge (with --input; huge streams "
+                 "through the chunked generator pipeline)",
+                 "small");
   cli.add_option("seed", "device seed (shuffled schedule if nonzero)", "0");
   cli.add_option("weights", "random-weight seed for MST on unweighted input",
                  "42");
@@ -97,6 +102,11 @@ int main(int argc, char** argv) {
                  "content-addressed .eclg cache directory — repeat runs "
                  "skip graph generation/parsing/build; overrides "
                  "ECLP_GRAPH_CACHE (see docs/INGEST.md)",
+                 "");
+  cli.add_option("gen-chunks",
+                 "chunk count for streamed (scale=huge) generation — "
+                 "scheduling granularity only, the graph is chunk-count-"
+                 "invariant (0 = default; docs/INGEST.md)",
                  "");
   cli.add_option("profile",
                  "write a profiling session (eclp.profile JSON + Perfetto "
@@ -130,6 +140,9 @@ int main(int argc, char** argv) {
   }
   if (!cli.get("graph-cache").empty()) {
     graph::set_cache_dir(cli.get("graph-cache"));
+  }
+  if (!cli.get("gen-chunks").empty()) {
+    gen::set_gen_chunks(static_cast<u64>(cli.get_int("gen-chunks")));
   }
   const u64 seed = static_cast<u64>(cli.get_int("seed"));
   sim::CostModel cost;
@@ -258,6 +271,10 @@ int main(int argc, char** argv) {
   std::printf("atomics: %llu total, CAS failure rate %.1f%%\n",
               static_cast<unsigned long long>(dev.atomic_stats().total()),
               100.0 * dev.atomic_stats().cas_failure_rate());
+  // The bounded-memory smoke (tests/gen_smoke.cmake) asserts a ceiling on
+  // this line; 0 means procfs is unavailable and the smoke skips.
+  std::printf("peak rss: %llu MiB\n",
+              static_cast<unsigned long long>(peak_rss_bytes() >> 20));
   if (cost.cache.enabled) {
     const u64 total = dev.llc_hits() + dev.llc_misses();
     std::printf("llc(%s): %llu hits, %llu misses (hit rate %.1f%%)\n",
